@@ -1,0 +1,232 @@
+// Package clusterq reproduces "Power and Performance Management in
+// Priority-Type Cluster Computing Systems" (Kaiqi Xiong, IPDPS 2011): an
+// analytical model of multi-tier clusters serving multiple priority classes
+// of customers, power/performance optimizers over DVFS speeds and server
+// counts, and a discrete-event simulator that validates the model.
+//
+// This package is the supported facade: it re-exports the model types, the
+// paper's optimization problems (plus the extensions: dual decomposition,
+// percentile bounds, TCO, splitting, fork-join), and the simulator, so
+// downstream users program against one import. The implementation lives in internal/*
+// (queueing theory, power models, optimization toolkit, simulator,
+// experiment harness); see DESIGN.md for the map.
+//
+// # Quick start
+//
+//	c := clusterq.Enterprise3Tier(1.0)       // canonical 3-tier scenario
+//	m, _ := clusterq.Evaluate(c)             // analytical delays & power
+//	sol, _ := clusterq.MinimizeEnergy(c, clusterq.EnergyOptions{MaxWeightedDelay: 3})
+//	res, _ := clusterq.Simulate(sol.Cluster, clusterq.SimOptions{Horizon: 20000})
+//
+// See examples/ for runnable programs and cmd/ for the CLI tools.
+package clusterq
+
+import (
+	"clusterq/internal/cluster"
+	"clusterq/internal/core"
+	"clusterq/internal/power"
+	"clusterq/internal/queueing"
+	"clusterq/internal/sim"
+	"clusterq/internal/workload"
+)
+
+// Model types.
+type (
+	// Cluster is the full system model: tiers, classes, routes.
+	Cluster = cluster.Cluster
+	// Tier is one stage of the application: a pool of DVFS servers.
+	Tier = cluster.Tier
+	// Class is one priority class of customers with its SLA.
+	Class = cluster.Class
+	// SLA captures per-class delay guarantees and pricing.
+	SLA = cluster.SLA
+	// Metrics is the analytical evaluation output (delays, power, energy).
+	Metrics = cluster.Metrics
+	// SLAReport records per-class SLA compliance.
+	SLAReport = cluster.SLAReport
+	// Demand is the work one class brings to one tier.
+	Demand = queueing.Demand
+	// ClassRouting is a probabilistic (Markov) routing chain for a class:
+	// retries, branches, loops. Assign via Cluster.Routing.
+	ClassRouting = queueing.ClassRouting
+	// Discipline selects FCFS, NonPreemptive or PreemptiveResume.
+	Discipline = queueing.Discipline
+	// PowerModel maps server speed to power draw.
+	PowerModel = power.Model
+	// PowerLaw is the κ·s^γ DVFS power model.
+	PowerLaw = power.PowerLaw
+)
+
+// Scheduling disciplines.
+const (
+	FCFS             = queueing.FCFS
+	NonPreemptive    = queueing.NonPreemptive
+	PreemptiveResume = queueing.PreemptiveResume
+)
+
+// Solver types.
+type (
+	// Solution is the outcome of any optimizer.
+	Solution = core.Solution
+	// DelayOptions configures MinimizeDelay (problem C2).
+	DelayOptions = core.DelayOptions
+	// EnergyOptions configures MinimizeEnergy/MinimizeEnergyPerClass (C3).
+	EnergyOptions = core.EnergyOptions
+	// CostOptions configures MinimizeCost (C4).
+	CostOptions = core.CostOptions
+	// TailOptions configures MinimizeEnergyTail (C3 with percentile SLAs).
+	TailOptions = core.TailOptions
+	// TailBound is one class's percentile delay requirement.
+	TailBound = core.TailBound
+)
+
+// Simulation types.
+type (
+	// SimOptions configures the discrete-event simulator.
+	SimOptions = sim.Options
+	// SimResult is the aggregated simulation output.
+	SimResult = sim.Result
+	// Profile is a time-varying arrival-rate function (dynamic extension).
+	Profile = sim.Profile
+	// Controller is a runtime DVFS policy (dynamic extension).
+	Controller = sim.Controller
+	// UtilizationPolicy is the reactive utilization-target DVFS controller.
+	UtilizationPolicy = sim.UtilizationPolicy
+	// SleepConfig enables the instant-off sleep policy on a tier.
+	SleepConfig = sim.SleepConfig
+)
+
+// Time-varying arrival profile constructors (dynamic extension).
+var (
+	// NewSinusoid builds a smooth diurnal profile.
+	NewSinusoid = sim.NewSinusoid
+	// NewSquareWave builds a day/night step profile.
+	NewSquareWave = sim.NewSquareWave
+)
+
+// ServiceDist describes a service- or setup-time distribution through its
+// moments (used e.g. by SleepConfig.Setup).
+type ServiceDist = queueing.ServiceDist
+
+// Distribution constructors for setup times and custom service shapes.
+var (
+	// ExpDist returns an exponential distribution with the given mean.
+	ExpDist = queueing.NewExponential
+	// DetDist returns a deterministic (constant) distribution.
+	DetDist = queueing.NewDeterministic
+	// ErlangDist returns an Erlang-k distribution with the given mean.
+	ErlangDist = queueing.NewErlang
+)
+
+// NewPowerLaw returns the standard DVFS power model P = idle + κ·sᵞ.
+func NewPowerLaw(idle, kappa, gamma float64) (PowerLaw, error) {
+	return power.NewPowerLaw(idle, kappa, gamma)
+}
+
+// Evaluate computes the analytical metrics of a cluster (the paper's C1:
+// per-class average end-to-end delay and average energy consumption).
+func Evaluate(c *Cluster) (*Metrics, error) { return cluster.Evaluate(c) }
+
+// CheckSLAs evaluates every class's SLA against the analytical model.
+func CheckSLAs(c *Cluster, m *Metrics) ([]SLAReport, error) { return cluster.CheckSLAs(c, m) }
+
+// DelayQuantile approximates the p-quantile of class k's end-to-end delay.
+func DelayQuantile(c *Cluster, m *Metrics, k int, p float64) (float64, error) {
+	return cluster.DelayQuantile(c, m, k, p)
+}
+
+// TotalCost returns the provisioning cost Σ servers × price.
+func TotalCost(c *Cluster) float64 { return cluster.TotalCost(c) }
+
+// MinimizeDelay solves problem C2: minimize average end-to-end delay subject
+// to an average energy (power) budget.
+func MinimizeDelay(c *Cluster, o DelayOptions) (*Solution, error) {
+	return core.MinimizeDelay(c, o)
+}
+
+// MinimizeEnergy solves problem C3a: minimize average power subject to a
+// bound on the aggregate average end-to-end delay.
+func MinimizeEnergy(c *Cluster, o EnergyOptions) (*Solution, error) {
+	return core.MinimizeEnergy(c, o)
+}
+
+// MinimizeEnergyPerClass solves problem C3b: minimize average power subject
+// to per-class delay bounds.
+func MinimizeEnergyPerClass(c *Cluster, o EnergyOptions) (*Solution, error) {
+	return core.MinimizeEnergyPerClass(c, o)
+}
+
+// MinimizeCost solves problem C4: the cheapest server allocation (and speeds)
+// meeting every priority class's SLA.
+func MinimizeCost(c *Cluster, o CostOptions) (*Solution, error) {
+	return core.MinimizeCost(c, o)
+}
+
+// MinimizeEnergyDual solves C3a by Lagrangian dual decomposition, exploiting
+// the model's separability across tiers: per-tier golden-section searches
+// plus a single multiplier bisection. Exact for the separable model and far
+// faster than MinimizeEnergy; prefer it for aggregate bounds.
+func MinimizeEnergyDual(c *Cluster, o EnergyOptions) (*Solution, error) {
+	return core.MinimizeEnergyDual(c, o)
+}
+
+// MinimizeDelayDual is the decomposed counterpart of MinimizeDelay (C2).
+func MinimizeDelayDual(c *Cluster, o DelayOptions) (*Solution, error) {
+	return core.MinimizeDelayDual(c, o)
+}
+
+// MinimizeEnergyTail is the percentile flavour of C3: minimize average power
+// subject to per-class TAIL delay guarantees P(D_k ≤ x_k) ≥ γ_k.
+func MinimizeEnergyTail(c *Cluster, o TailOptions) (*Solution, error) {
+	return core.MinimizeEnergyTail(c, o)
+}
+
+// ForkJoinResponse returns the Nelson–Tantawi approximation of the mean
+// response time of a k-node fork-join job (exact for k ≤ 2); see
+// SimulateForkJoin for the simulation counterpart.
+func ForkJoinResponse(k int, lambda, mu float64) (float64, error) {
+	return queueing.ForkJoinNelsonTantawi(k, lambda, mu)
+}
+
+// SimulateForkJoin measures a k-queue fork-join system by simulation.
+var SimulateForkJoin = sim.SimulateForkJoin
+
+// OptimalSplit returns the delay-minimizing split of Poisson rate λ across
+// parallel M/M/1 pools (the dispatcher problem), via the square-root KKT
+// waterfilling rule, together with the resulting mean delay.
+func OptimalSplit(lambda float64, mus []float64) (x []float64, delay float64, err error) {
+	return queueing.OptimalSplit(lambda, mus)
+}
+
+// Baseline allocators for comparisons.
+var (
+	// UniformDelayBaseline spends an energy budget with one common speed knob.
+	UniformDelayBaseline = core.UniformDelayBaseline
+	// UniformEnergyBaseline meets a delay bound with one common speed knob.
+	UniformEnergyBaseline = core.UniformEnergyBaseline
+	// UniformCostBaseline sizes all tiers with the same server count.
+	UniformCostBaseline = core.UniformCostBaseline
+	// ProportionalCostBaseline sizes tiers proportionally to their load.
+	ProportionalCostBaseline = core.ProportionalCostBaseline
+)
+
+// Simulate runs the discrete-event simulator on the cluster (the paper's C5
+// validation path) and aggregates replications into confidence intervals.
+func Simulate(c *Cluster, o SimOptions) (*SimResult, error) { return sim.Run(c, o) }
+
+// Scenario constructors.
+var (
+	// Enterprise3Tier builds the canonical web→app→db scenario with
+	// gold/silver/bronze classes; the argument scales the load.
+	Enterprise3Tier = workload.Enterprise3Tier
+	// Scalable builds a symmetric j-tier, k-class cluster.
+	Scalable = workload.Scalable
+	// ScaleArrivals multiplies every class's arrival rate.
+	ScaleArrivals = workload.ScaleArrivals
+	// CapacityFraction rescales arrivals to a bottleneck utilization.
+	CapacityFraction = workload.CapacityFraction
+)
+
+// ParseConfig builds a cluster from a JSON description (see
+// cluster.Config for the schema; cmd/slaplan and cmd/simrun consume it).
+func ParseConfig(data []byte) (*Cluster, error) { return cluster.ParseConfig(data) }

@@ -1,0 +1,122 @@
+// Command clusterq runs the paper-reproduction experiment suite: every
+// reconstructed table and figure of the evaluation (see DESIGN.md), printed
+// as plain-text tables and optionally exported as CSV.
+//
+// Usage:
+//
+//	clusterq -list                 # show the experiment index
+//	clusterq -run E1               # run one experiment
+//	clusterq -run all              # run the full suite
+//	clusterq -run E5 -quick        # reduced fidelity (seconds, not minutes)
+//	clusterq -run all -csv out/    # also write one CSV per table
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+
+	"clusterq/internal/experiments"
+)
+
+func main() {
+	var (
+		list     = flag.Bool("list", false, "list experiments and exit")
+		run      = flag.String("run", "", "experiment id to run (e.g. E1), or 'all'")
+		quick    = flag.Bool("quick", false, "reduced simulation fidelity for fast runs")
+		csvDir   = flag.String("csv", "", "directory to write per-table CSV files into")
+		seed     = flag.Uint64("seed", 0, "seed offset for all simulations")
+		parallel = flag.Bool("parallel", false, "run independent experiments concurrently (wall-time figures in E9/E17 will be inflated)")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Printf("%-4s %s\n", e.ID(), e.Title())
+		}
+		return
+	}
+	if *run == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	var toRun []experiments.Experiment
+	if strings.EqualFold(*run, "all") {
+		toRun = experiments.All()
+	} else {
+		e, err := experiments.ByID(*run)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		toRun = append(toRun, e)
+	}
+
+	cfg := experiments.Config{Quick: *quick, Seed: *seed}
+
+	// Experiments are independent; with -parallel they run concurrently
+	// and print in index order once all inputs are ready.
+	type outcome struct {
+		tables []*experiments.Table
+		err    error
+	}
+	results := make([]outcome, len(toRun))
+	if *parallel {
+		var wg sync.WaitGroup
+		for i, e := range toRun {
+			wg.Add(1)
+			go func(i int, e experiments.Experiment) {
+				defer wg.Done()
+				t, err := e.Run(cfg)
+				results[i] = outcome{tables: t, err: err}
+			}(i, e)
+		}
+		wg.Wait()
+	} else {
+		for i, e := range toRun {
+			t, err := e.Run(cfg)
+			results[i] = outcome{tables: t, err: err}
+		}
+	}
+
+	for i, e := range toRun {
+		if results[i].err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", e.ID(), results[i].err)
+			os.Exit(1)
+		}
+		fmt.Printf("=== %s: %s ===\n\n", e.ID(), e.Title())
+		for ti, t := range results[i].tables {
+			if err := t.WriteASCII(os.Stdout); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			fmt.Println()
+			if *csvDir != "" {
+				if err := writeCSV(*csvDir, e.ID(), ti, t); err != nil {
+					fmt.Fprintln(os.Stderr, err)
+					os.Exit(1)
+				}
+			}
+		}
+	}
+}
+
+func writeCSV(dir, id string, idx int, t *experiments.Table) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	name := fmt.Sprintf("%s_%d.csv", strings.ToLower(id), idx)
+	f, err := os.Create(filepath.Join(dir, name))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := t.WriteCSV(f); err != nil {
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,148 @@
+// Command simrun simulates a JSON-described cluster and reports the measured
+// per-class delays, power and energy side by side with the analytical model
+// (the paper's validation methodology, on your own configuration).
+//
+// Usage:
+//
+//	simrun -config cluster.json [-horizon 30000] [-reps 5] [-seed 0] [-q 0.95]
+//	       [-swing 0.5 -period 5000]      # diurnal sinusoidal load
+//	       [-reactive 0.7 -epoch 20]      # runtime DVFS controller
+//	       [-sleep 2.0 -sleep-watts 20]   # instant-off sleep on every tier
+//
+// The dynamic flags desynchronize the run from the stationary analytical
+// model on purpose: the analytic columns then show what the static model
+// predicts, the simulated columns what the dynamic policies deliver.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+
+	"clusterq/internal/cluster"
+	"clusterq/internal/queueing"
+	"clusterq/internal/sim"
+)
+
+func main() {
+	var (
+		path    = flag.String("config", "", "JSON cluster config (required)")
+		horizon = flag.Float64("horizon", 30000, "simulated seconds per replication")
+		reps    = flag.Int("reps", 5, "independent replications")
+		seed    = flag.Uint64("seed", 0, "base RNG seed")
+		q       = flag.Float64("q", 0.95, "delay quantile to report (0 disables)")
+
+		swing  = flag.Float64("swing", 0, "relative diurnal swing of all arrival rates, in [0,1)")
+		period = flag.Float64("period", 0, "diurnal period in simulated seconds (required with -swing)")
+
+		reactive = flag.Float64("reactive", 0, "enable the reactive DVFS controller with this utilization target (0 disables)")
+		epoch    = flag.Float64("epoch", 20, "controller epoch in simulated seconds")
+
+		sleepSetup = flag.Float64("sleep", 0, "enable instant-off sleep on every tier with this mean setup time (0 disables)")
+		sleepWatts = flag.Float64("sleep-watts", 0, "per-server power while asleep (with -sleep)")
+
+		tracePath = flag.String("trace", "", "write a CSV event trace to this file (forces 1 replication)")
+	)
+	flag.Parse()
+	if *path == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	data, err := os.ReadFile(*path)
+	if err != nil {
+		fatal(err)
+	}
+	c, err := cluster.ParseConfig(data)
+	if err != nil {
+		fatal(err)
+	}
+	m, err := cluster.Evaluate(c)
+	if err != nil {
+		fatal(err)
+	}
+	opts := sim.Options{Horizon: *horizon, Replications: *reps, Seed: *seed}
+	if *q > 0 && *q < 1 {
+		opts.Quantiles = []float64{*q}
+	}
+	if *tracePath != "" {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		bw := bufio.NewWriterSize(f, 1<<20)
+		defer bw.Flush()
+		opts.Trace = bw
+		opts.Replications = 1
+		fmt.Printf("tracing events to %s (single replication)\n", *tracePath)
+	}
+	if *swing > 0 {
+		if !(*period > 0) {
+			fatal(fmt.Errorf("-swing requires -period"))
+		}
+		opts.Profiles = make([]sim.Profile, len(c.Classes))
+		for k, cl := range c.Classes {
+			p, err := sim.NewSinusoid(cl.Lambda, *swing*cl.Lambda, *period)
+			if err != nil {
+				fatal(err)
+			}
+			opts.Profiles[k] = p
+		}
+		fmt.Printf("diurnal load: ±%.0f%% swing, period %.4g s\n", 100**swing, *period)
+	}
+	if *reactive > 0 {
+		opts.Controller = sim.UtilizationPolicy{Target: *reactive}
+		opts.ControlPeriod = *epoch
+		fmt.Printf("reactive DVFS: target utilization %.2f, epoch %.4g s\n", *reactive, *epoch)
+	}
+	if *sleepSetup > 0 {
+		opts.Sleep = make([]*sim.SleepConfig, len(c.Tiers))
+		for j := range c.Tiers {
+			opts.Sleep[j] = &sim.SleepConfig{
+				Setup:      queueing.NewExponential(*sleepSetup),
+				SleepPower: *sleepWatts,
+			}
+		}
+		fmt.Printf("instant-off sleep: setup mean %.4g s, %.4g W asleep\n", *sleepSetup, *sleepWatts)
+	}
+	res, err := sim.Run(c, opts)
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("simulated %d replications of %.4g s (warmup %.4g s)\n\n",
+		*reps, *horizon, *horizon*0.1)
+	fmt.Println("per-class mean end-to-end delay (s):")
+	for k, cl := range c.Classes {
+		line := fmt.Sprintf("  %-10s model %8.4g   sim %8.4g ±%.3g  (err %.1f%%)",
+			cl.Name, m.Delay[k], res.Delay[k].Mean, res.Delay[k].HalfW,
+			100*res.Delay[k].RelErr(m.Delay[k]))
+		if len(opts.Quantiles) > 0 {
+			mq, err := cluster.DelayQuantile(c, m, k, *q)
+			if err == nil {
+				line += fmt.Sprintf("   p%.0f model %.4g sim %.4g",
+					100**q, mq, res.DelayQuantile[k][*q])
+			}
+		}
+		fmt.Println(line)
+	}
+	fmt.Printf("\ncluster average power (W): model %.5g   sim %.5g ±%.3g  (err %.1f%%)\n",
+		m.TotalPower, res.TotalPower.Mean, res.TotalPower.HalfW,
+		100*res.TotalPower.RelErr(m.TotalPower))
+	fmt.Println("\nper-tier utilization:")
+	for j, tr := range res.Tiers {
+		fmt.Printf("  %-10s model %6.1f%%   sim %6.1f%%   power %.4g W\n",
+			tr.Name, 100*m.Tiers[j].Utilization, 100*tr.Utilization.Mean, tr.Power.Mean)
+	}
+	fmt.Println("\nper-class dynamic energy per request (J):")
+	for k, cl := range c.Classes {
+		fmt.Printf("  %-10s model %8.4g   sim %8.4g ±%.3g\n",
+			cl.Name, m.EnergyPerRequest[k], res.EnergyPerRequest[k].Mean, res.EnergyPerRequest[k].HalfW)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "simrun:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,94 @@
+// Command slaplan is the capacity-planning tool built on the paper's C4
+// algorithm: given a JSON cluster description with per-class SLAs, it finds
+// the cheapest server allocation (and DVFS speeds) that guarantees every
+// class's SLA, and compares it with the uniform and proportional sizing
+// baselines.
+//
+// Usage:
+//
+//	slaplan -config cluster.json [-baselines] [-max-servers 64]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"clusterq/internal/cluster"
+	"clusterq/internal/core"
+)
+
+func main() {
+	var (
+		path       = flag.String("config", "", "JSON cluster config (required)")
+		baselines  = flag.Bool("baselines", false, "also size with the uniform and proportional baselines")
+		maxServers = flag.Int("max-servers", 64, "server cap per tier")
+	)
+	flag.Parse()
+	if *path == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	data, err := os.ReadFile(*path)
+	if err != nil {
+		fatal(err)
+	}
+	c, err := cluster.ParseConfig(data)
+	if err != nil {
+		fatal(err)
+	}
+
+	sol, err := core.MinimizeCost(c, core.CostOptions{MaxServersPerTier: *maxServers})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println("== min-cost allocation (C4) ==")
+	printAllocation(sol)
+
+	if *baselines {
+		fmt.Println("\n== uniform baseline ==")
+		if b, err := core.UniformCostBaseline(c, *maxServers); err != nil {
+			fmt.Println("infeasible:", err)
+		} else {
+			printAllocation(b)
+		}
+		fmt.Println("\n== proportional baseline ==")
+		if b, err := core.ProportionalCostBaseline(c, *maxServers); err != nil {
+			fmt.Println("infeasible:", err)
+		} else {
+			printAllocation(b)
+		}
+	}
+}
+
+func printAllocation(sol *core.Solution) {
+	fmt.Printf("total cost: %.4g per unit time\n", sol.Objective)
+	fmt.Printf("average power: %.4g W\n", sol.Metrics.TotalPower)
+	for j, t := range sol.Cluster.Tiers {
+		fmt.Printf("  tier %-8s servers=%-3d speed=%.3g (utilization %.1f%%)\n",
+			t.Name, t.Servers, t.Speed, 100*sol.Metrics.Tiers[j].Utilization)
+	}
+	reports, err := cluster.CheckSLAs(sol.Cluster, sol.Metrics)
+	if err != nil {
+		fatal(err)
+	}
+	for _, r := range reports {
+		status := "OK"
+		if !r.Satisfied() {
+			status = "VIOLATED"
+		}
+		if r.MeanBound > 0 {
+			fmt.Printf("  class %-8s mean delay %.3gs (bound %.3gs) %s\n",
+				r.Class, r.MeanDelay, r.MeanBound, status)
+		}
+		if r.TailBound > 0 {
+			fmt.Printf("  class %-8s p%.0f delay %.3gs (bound %.3gs) %s\n",
+				r.Class, 100*r.TailPercentile, r.TailDelay, r.TailBound, status)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "slaplan:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,85 @@
+// Quickstart: build a small two-tier cluster by hand, compute the paper's C1
+// quantities (per-class end-to-end delay and energy), and cross-check them
+// with a short simulation.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"clusterq"
+)
+
+func main() {
+	// Power model: 80 W idle, cubic DVFS dynamic power.
+	pm, err := clusterq.NewPowerLaw(80, 0.5, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Two tiers: a 2-server frontend and a single-server backend, both
+	// DVFS-capable between speeds 1 and 8 (work units per second).
+	frontend := &clusterq.Tier{
+		Name: "frontend", Servers: 2, Speed: 4, MinSpeed: 1, MaxSpeed: 8,
+		Discipline: clusterq.NonPreemptive, Power: pm, CostPerServer: 1,
+		Demands: []clusterq.Demand{
+			{Work: 0.8, CV2: 1}, // premium requests are lighter here
+			{Work: 1.0, CV2: 1},
+		},
+	}
+	backend := &clusterq.Tier{
+		Name: "backend", Servers: 1, Speed: 4, MinSpeed: 1, MaxSpeed: 8,
+		Discipline: clusterq.NonPreemptive, Power: pm, CostPerServer: 3,
+		Demands: []clusterq.Demand{
+			{Work: 1.0, CV2: 2}, // variable backend work
+			{Work: 1.5, CV2: 2},
+		},
+	}
+
+	// Two customer classes; index 0 is served first everywhere.
+	c := &clusterq.Cluster{
+		Tiers: []*clusterq.Tier{frontend, backend},
+		Classes: []clusterq.Class{
+			{Name: "premium", Lambda: 0.8, SLA: clusterq.SLA{MaxMeanDelay: 1.5, PricePerRequest: 4}},
+			{Name: "standard", Lambda: 1.0, SLA: clusterq.SLA{MaxMeanDelay: 4.0, PricePerRequest: 1}},
+		},
+	}
+
+	// C1: analytical delays and energy.
+	m, err := clusterq.Evaluate(c)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("analytical model:")
+	for k, cl := range c.Classes {
+		fmt.Printf("  %-9s mean end-to-end delay %.3f s, energy/request %.1f J\n",
+			cl.Name, m.Delay[k], m.EnergyPerRequest[k])
+	}
+	fmt.Printf("  cluster average power %.1f W (static %.1f + dynamic %.1f)\n",
+		m.TotalPower, m.StaticPower, m.DynamicPower)
+
+	// Tail estimate for the premium class.
+	p95, err := clusterq.DelayQuantile(c, m, 0, 0.95)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  premium p95 delay ≈ %.3f s (hypoexponential approximation)\n\n", p95)
+
+	// C5: validate with the discrete-event simulator.
+	res, err := clusterq.Simulate(c, clusterq.SimOptions{
+		Horizon: 20000, Replications: 3, Seed: 7, Quantiles: []float64{0.95},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("simulation check:")
+	for k, cl := range c.Classes {
+		fmt.Printf("  %-9s sim delay %.3f ±%.3f s (model error %.1f%%), sim p95 %.3f s\n",
+			cl.Name, res.Delay[k].Mean, res.Delay[k].HalfW,
+			100*res.Delay[k].RelErr(m.Delay[k]), res.DelayQuantile[k][0.95])
+	}
+	fmt.Printf("  sim power %.1f ±%.1f W (model error %.1f%%)\n",
+		res.TotalPower.Mean, res.TotalPower.HalfW, 100*res.TotalPower.RelErr(m.TotalPower))
+}

@@ -1,0 +1,3 @@
+module clusterq
+
+go 1.22

@@ -1,0 +1,313 @@
+// Package cluster models the paper's system: a service provider's collection
+// of cluster computing resources (tiers of DVFS-capable servers) hosting an
+// enterprise application for multiple priority classes of business customers,
+// each with its own arrival rate and SLA.
+//
+// It combines internal/queueing (delays) and internal/power (energy) into the
+// paper's first contribution: computing the average end-to-end delay and the
+// average energy consumption per class (Evaluate), the substrate every
+// optimization in internal/core runs on.
+package cluster
+
+import (
+	"fmt"
+	"math"
+
+	"clusterq/internal/power"
+	"clusterq/internal/queueing"
+)
+
+// SLA is the service-level agreement of one customer class: the guarantees
+// the provider sells and the price the customer pays. Zero-valued fields mean
+// "no such guarantee".
+type SLA struct {
+	// MaxMeanDelay bounds the class's mean end-to-end delay (seconds).
+	MaxMeanDelay float64
+	// PercentileDelay together with Percentile bounds the tail:
+	// P(D ≤ PercentileDelay) ≥ Percentile, e.g. 95% of requests in 2 s.
+	PercentileDelay float64
+	Percentile      float64
+	// PricePerRequest is the fee the customer pays per served request;
+	// higher-paying classes receive higher priority.
+	PricePerRequest float64
+}
+
+// HasMeanBound reports whether the SLA carries a mean-delay guarantee.
+func (s SLA) HasMeanBound() bool { return s.MaxMeanDelay > 0 }
+
+// HasPercentileBound reports whether the SLA carries a tail guarantee.
+func (s SLA) HasPercentileBound() bool {
+	return s.PercentileDelay > 0 && s.Percentile > 0 && s.Percentile < 1
+}
+
+// Validate checks the SLA's internal consistency.
+func (s SLA) Validate() error {
+	if s.MaxMeanDelay < 0 || s.PercentileDelay < 0 || s.PricePerRequest < 0 {
+		return fmt.Errorf("cluster: negative SLA field")
+	}
+	if s.Percentile < 0 || s.Percentile >= 1 {
+		if s.Percentile != 0 {
+			return fmt.Errorf("cluster: percentile %g out of [0,1)", s.Percentile)
+		}
+	}
+	if (s.Percentile > 0) != (s.PercentileDelay > 0) {
+		return fmt.Errorf("cluster: percentile bound needs both a level and a delay")
+	}
+	return nil
+}
+
+// Class is one customer class. Classes are ordered by priority: index 0 in
+// Cluster.Classes is served first at every tier.
+type Class struct {
+	Name   string
+	Lambda float64 // Poisson arrival rate, requests per second
+	SLA    SLA
+}
+
+// Tier is one stage of the enterprise application: a pool of identical
+// DVFS-capable servers with a class-demand profile, a power model, and a
+// provisioning cost.
+type Tier struct {
+	Name    string
+	Servers int
+	Speed   float64 // current operating speed, work units per second
+	// MinSpeed and MaxSpeed bound the DVFS range the optimizers explore.
+	MinSpeed, MaxSpeed float64
+	Discipline         queueing.Discipline
+	Power              power.Model
+	// CostPerServer is the provisioning cost of one server at this tier
+	// (used by the C4 cost minimization), in dollars per unit time.
+	CostPerServer float64
+	// Demands[k] is the work class k brings to this tier.
+	Demands []queueing.Demand
+}
+
+// Station converts the tier to its queueing representation at its current
+// speed.
+func (t *Tier) Station() *queueing.Station {
+	return &queueing.Station{
+		Name:       t.Name,
+		Servers:    t.Servers,
+		Speed:      t.Speed,
+		Discipline: t.Discipline,
+		Demands:    append([]queueing.Demand(nil), t.Demands...),
+	}
+}
+
+// Validate checks the tier against the number of classes.
+func (t *Tier) Validate(numClasses int) error {
+	if t.Power == nil {
+		return fmt.Errorf("cluster: tier %q has no power model", t.Name)
+	}
+	if t.CostPerServer < 0 {
+		return fmt.Errorf("cluster: tier %q has negative cost", t.Name)
+	}
+	if t.MinSpeed < 0 || (t.MaxSpeed > 0 && t.MaxSpeed < t.MinSpeed) {
+		return fmt.Errorf("cluster: tier %q has invalid speed range [%g,%g]", t.Name, t.MinSpeed, t.MaxSpeed)
+	}
+	if t.MaxSpeed > 0 && (t.Speed < t.MinSpeed || t.Speed > t.MaxSpeed) {
+		return fmt.Errorf("cluster: tier %q speed %g outside [%g,%g]", t.Name, t.Speed, t.MinSpeed, t.MaxSpeed)
+	}
+	return t.Station().Validate(numClasses)
+}
+
+// Clone returns a deep copy of the tier.
+func (t *Tier) Clone() *Tier {
+	c := *t
+	c.Demands = append([]queueing.Demand(nil), t.Demands...)
+	return &c
+}
+
+// Cluster is the full system: tiers, classes, and per-class routes.
+type Cluster struct {
+	Tiers   []*Tier
+	Classes []Class
+	// Routes[k] lists the tier indices class k visits in order; nil means
+	// every class traverses all tiers in order (the tandem default).
+	Routes [][]int
+	// Routing optionally gives a class a probabilistic (Markov) routing
+	// chain instead of a deterministic route — retries, branches, loops.
+	// A non-nil Routing[k] takes precedence over Routes[k]; length must
+	// equal the class count when set.
+	Routing []*queueing.ClassRouting
+}
+
+// NumClasses returns the number of customer classes.
+func (c *Cluster) NumClasses() int { return len(c.Classes) }
+
+// Lambdas returns the per-class arrival-rate vector.
+func (c *Cluster) Lambdas() []float64 {
+	l := make([]float64, len(c.Classes))
+	for i, cl := range c.Classes {
+		l[i] = cl.Lambda
+	}
+	return l
+}
+
+// TotalLambda returns the aggregate arrival rate.
+func (c *Cluster) TotalLambda() float64 {
+	var s float64
+	for _, cl := range c.Classes {
+		s += cl.Lambda
+	}
+	return s
+}
+
+// routes returns the effective routes, materializing the tandem default.
+func (c *Cluster) routes() [][]int {
+	if c.Routes != nil {
+		return c.Routes
+	}
+	return queueing.TandemRoutes(len(c.Classes), len(c.Tiers))
+}
+
+// Route returns class k's effective route.
+func (c *Cluster) Route(k int) []int { return c.routes()[k] }
+
+// Network builds the queueing network for the cluster's current speeds.
+func (c *Cluster) Network() *queueing.Network {
+	st := make([]*queueing.Station, len(c.Tiers))
+	for i, t := range c.Tiers {
+		st[i] = t.Station()
+	}
+	return &queueing.Network{Stations: st, Routes: c.routes(), Routings: c.Routing}
+}
+
+// VisitRates returns the expected number of visits class k makes to each
+// tier: occurrence counts along its route, or the traffic-equation solution
+// of its routing chain. Invalid chains yield all-zero rates (Validate
+// reports the underlying error).
+func (c *Cluster) VisitRates(k int) []float64 {
+	if c.Routing != nil && k < len(c.Routing) && c.Routing[k] != nil {
+		v, err := c.Routing[k].VisitRates()
+		if err != nil {
+			return make([]float64, len(c.Tiers))
+		}
+		return v
+	}
+	v := make([]float64, len(c.Tiers))
+	for _, j := range c.routes()[k] {
+		v[j]++
+	}
+	return v
+}
+
+// Validate checks the full configuration.
+func (c *Cluster) Validate() error {
+	if len(c.Tiers) == 0 {
+		return fmt.Errorf("cluster: no tiers")
+	}
+	if len(c.Classes) == 0 {
+		return fmt.Errorf("cluster: no classes")
+	}
+	for i, cl := range c.Classes {
+		if cl.Lambda < 0 || math.IsNaN(cl.Lambda) || math.IsInf(cl.Lambda, 0) {
+			return fmt.Errorf("cluster: class %d (%s) invalid arrival rate %g", i, cl.Name, cl.Lambda)
+		}
+		if err := cl.SLA.Validate(); err != nil {
+			return fmt.Errorf("class %d (%s): %w", i, cl.Name, err)
+		}
+	}
+	for _, t := range c.Tiers {
+		if err := t.Validate(len(c.Classes)); err != nil {
+			return err
+		}
+	}
+	if c.Routes != nil && len(c.Routes) != len(c.Classes) {
+		return fmt.Errorf("cluster: %d routes for %d classes", len(c.Routes), len(c.Classes))
+	}
+	if c.Routing != nil && len(c.Routing) != len(c.Classes) {
+		return fmt.Errorf("cluster: %d routing chains for %d classes", len(c.Routing), len(c.Classes))
+	}
+	return c.Network().Validate()
+}
+
+// Clone returns a deep copy of the cluster. Power models are shared (they
+// are immutable).
+func (c *Cluster) Clone() *Cluster {
+	n := &Cluster{
+		Tiers:   make([]*Tier, len(c.Tiers)),
+		Classes: append([]Class(nil), c.Classes...),
+	}
+	for i, t := range c.Tiers {
+		n.Tiers[i] = t.Clone()
+	}
+	if c.Routes != nil {
+		n.Routes = make([][]int, len(c.Routes))
+		for i, r := range c.Routes {
+			n.Routes[i] = append([]int(nil), r...)
+		}
+	}
+	if c.Routing != nil {
+		n.Routing = make([]*queueing.ClassRouting, len(c.Routing))
+		for i, r := range c.Routing {
+			if r == nil {
+				continue
+			}
+			nr := &queueing.ClassRouting{Entry: append([]float64(nil), r.Entry...)}
+			for _, row := range r.Next {
+				nr.Next = append(nr.Next, append([]float64(nil), row...))
+			}
+			n.Routing[i] = nr
+		}
+	}
+	return n
+}
+
+// Speeds returns the current per-tier speed vector.
+func (c *Cluster) Speeds() []float64 {
+	s := make([]float64, len(c.Tiers))
+	for i, t := range c.Tiers {
+		s[i] = t.Speed
+	}
+	return s
+}
+
+// SetSpeeds assigns per-tier speeds (must match the tier count).
+func (c *Cluster) SetSpeeds(s []float64) error {
+	if len(s) != len(c.Tiers) {
+		return fmt.Errorf("cluster: %d speeds for %d tiers", len(s), len(c.Tiers))
+	}
+	for i, t := range c.Tiers {
+		t.Speed = s[i]
+	}
+	return nil
+}
+
+// SpeedBounds returns the per-tier (lo, hi) DVFS ranges for the optimizers:
+// lo is lifted to just above the stability minimum (a speed below it can
+// never be optimal), hi is the configured MaxSpeed or a generous multiple of
+// the stability minimum when unset. A configured MaxSpeed is never exceeded;
+// if a tier cannot be stabilized even at MaxSpeed, lo is pinned to hi and the
+// tier's delays stay +Inf (the optimizers then report infeasibility).
+func (c *Cluster) SpeedBounds() (lo, hi []float64) {
+	lam := c.Lambdas()
+	net := c.Network()
+	lo = make([]float64, len(c.Tiers))
+	hi = make([]float64, len(c.Tiers))
+	for i, t := range c.Tiers {
+		stab := net.Stations[i].MinSpeedForStability(perTierArrivals(c, i, lam))
+		lo[i] = t.MinSpeed
+		if lo[i] < stab*1.001 {
+			lo[i] = stab * 1.001
+		}
+		hi[i] = t.MaxSpeed
+		if hi[i] <= 0 {
+			hi[i] = math.Max(stab*20, lo[i]*10)
+		}
+		if lo[i] > hi[i] {
+			lo[i] = hi[i]
+		}
+	}
+	return lo, hi
+}
+
+// perTierArrivals returns the per-class arrival vector tier j sees given the
+// external rates: λ_k times class k's expected visits to tier j.
+func perTierArrivals(c *Cluster, j int, lam []float64) []float64 {
+	at := make([]float64, len(lam))
+	for k := range c.Classes {
+		at[k] = lam[k] * c.VisitRates(k)[j]
+	}
+	return at
+}

@@ -1,0 +1,301 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"clusterq/internal/cluster"
+	"clusterq/internal/opt"
+	"clusterq/internal/power"
+)
+
+// This file implements the Lagrangian dual decomposition solver for the
+// C2/C3a problems — the approach the paper's analytical setting makes
+// natural. Under the Poisson-arrival coupling, both objectives are SEPARABLE
+// across tiers:
+//
+//	D(s) = Σ_j f_j(s_j)   (weighted delay contribution of tier j)
+//	P(s) = Σ_j g_j(s_j)   (average power of tier j)
+//
+// so the Lagrangian min_s Σ_j [g_j(s_j) + β f_j(s_j)] splits into J
+// independent one-dimensional minimizations (each convex: power is convex
+// increasing, delay convex decreasing in the speed), and the single dual
+// multiplier β is found by bisection on the constraint. The result is exact
+// for the separable model and two to three orders of magnitude faster than
+// the general-purpose augmented-Lagrangian path, which remains available for
+// the non-separable problems (per-class bounds, tails).
+
+// tierFns holds the per-tier delay and power functions of one cluster.
+type tierFns struct {
+	c   *cluster.Cluster
+	lo  []float64
+	hi  []float64
+	wBy []float64 // per-class weights, normalized to sum 1
+}
+
+// newTierFns prepares the decomposition for the cluster. Weights default to
+// arrival-rate weighting.
+func newTierFns(c *cluster.Cluster, weights []float64) (*tierFns, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	work := c.Clone()
+	lo, hi := work.SpeedBounds()
+	w := weights
+	if w == nil {
+		w = work.Lambdas()
+	}
+	var sum float64
+	for _, v := range w {
+		if v < 0 {
+			return nil, fmt.Errorf("core: negative weight %g", v)
+		}
+		sum += v
+	}
+	if sum <= 0 {
+		return nil, fmt.Errorf("core: all-zero weights")
+	}
+	wn := make([]float64, len(w))
+	for i, v := range w {
+		wn[i] = v / sum
+	}
+	return &tierFns{c: work, lo: lo, hi: hi, wBy: wn}, nil
+}
+
+// delayAt returns f_j(s): tier j's contribution to the weighted mean delay
+// when running at speed s — Σ_k w_k · visits_{k,j} · resp_{k,j}(s).
+func (t *tierFns) delayAt(j int, s float64) float64 {
+	st := t.c.Tiers[j].Station()
+	st.Speed = s
+	at := perTierArrivalsOf(t.c, j)
+	_, resp, err := st.ResponseTimes(at)
+	if err != nil {
+		return math.Inf(1)
+	}
+	var d float64
+	for k := range t.c.Classes {
+		visits := t.c.VisitRates(k)[j]
+		if visits == 0 {
+			continue
+		}
+		if math.IsInf(resp[k], 1) {
+			return math.Inf(1)
+		}
+		d += t.wBy[k] * visits * resp[k]
+	}
+	return d
+}
+
+// powerAt returns g_j(s): tier j's average power at speed s.
+func (t *tierFns) powerAt(j int, s float64) float64 {
+	tier := t.c.Tiers[j]
+	st := tier.Station()
+	st.Speed = s
+	rho := st.Utilization(perTierArrivalsOf(t.c, j))
+	return power.StationPower(tier.Power, s, tier.Servers, rho)
+}
+
+// argminLagrangian returns, for multiplier beta, the per-tier minimizers of
+// g_j + β·f_j and the resulting total delay and power.
+func (t *tierFns) argminLagrangian(beta float64) (speeds []float64, delay, pow float64) {
+	j := len(t.c.Tiers)
+	speeds = make([]float64, j)
+	for i := 0; i < j; i++ {
+		i := i
+		obj := func(s float64) float64 {
+			d := t.delayAt(i, s)
+			if math.IsInf(d, 1) {
+				return math.Inf(1)
+			}
+			return t.powerAt(i, s) + beta*d
+		}
+		s, _, _ := opt.GoldenSection(obj, t.lo[i], t.hi[i], 1e-10)
+		speeds[i] = s
+		delay += t.delayAt(i, s)
+		pow += t.powerAt(i, s)
+	}
+	return speeds, delay, pow
+}
+
+// argminDelayLagrangian returns the per-tier minimizers of f_j + β·g_j (the
+// C2 dual) and the resulting totals.
+func (t *tierFns) argminDelayLagrangian(beta float64) (speeds []float64, delay, pow float64) {
+	j := len(t.c.Tiers)
+	speeds = make([]float64, j)
+	for i := 0; i < j; i++ {
+		i := i
+		obj := func(s float64) float64 {
+			d := t.delayAt(i, s)
+			if math.IsInf(d, 1) {
+				return math.Inf(1)
+			}
+			return d + beta*t.powerAt(i, s)
+		}
+		s, _, _ := opt.GoldenSection(obj, t.lo[i], t.hi[i], 1e-10)
+		speeds[i] = s
+		delay += t.delayAt(i, s)
+		pow += t.powerAt(i, s)
+	}
+	return speeds, delay, pow
+}
+
+// MinimizeEnergyDual solves C3a by Lagrangian dual decomposition: bisect the
+// multiplier β ≥ 0 so the delay of the per-tier Lagrangian minimizers meets
+// the bound. Exact for the separable model; use MinimizeEnergy (augmented
+// Lagrangian) for cross-checking or as a general fallback.
+func MinimizeEnergyDual(c *cluster.Cluster, o EnergyOptions) (*Solution, error) {
+	if !(o.MaxWeightedDelay > 0) {
+		return nil, fmt.Errorf("core: delay bound %g must be positive", o.MaxWeightedDelay)
+	}
+	t, err := newTierFns(c, nil)
+	if err != nil {
+		return nil, err
+	}
+	bound := o.MaxWeightedDelay
+	evals := 0
+
+	// β = 0 minimizes power alone (slowest speeds): if that already meets
+	// the bound, it is the optimum.
+	s0, d0, _ := t.argminLagrangian(0)
+	evals++
+	if d0 <= bound {
+		return finishDual(t, s0, evals, powerObjective)
+	}
+	// Feasibility: the fastest point gives the least delay.
+	dMin := 0.0
+	for j := range t.c.Tiers {
+		dMin += t.delayAt(j, t.hi[j])
+	}
+	if dMin > bound {
+		return nil, fmt.Errorf("core: delay bound %g s infeasible: best achievable is %g s", bound, dMin)
+	}
+
+	// Bracket β: delay(β) is non-increasing; grow until feasible.
+	betaHi := 1.0
+	for {
+		_, d, _ := t.argminLagrangian(betaHi)
+		evals++
+		if d <= bound {
+			break
+		}
+		betaHi *= 4
+		if betaHi > 1e18 {
+			return nil, fmt.Errorf("core: dual multiplier failed to bracket the bound")
+		}
+	}
+	betaLo := 0.0
+	var speeds []float64
+	for i := 0; i < 100 && betaHi-betaLo > 1e-12*(1+betaHi); i++ {
+		mid := (betaLo + betaHi) / 2
+		s, d, _ := t.argminLagrangian(mid)
+		evals++
+		if d <= bound {
+			betaHi = mid
+			speeds = s
+		} else {
+			betaLo = mid
+		}
+	}
+	if speeds == nil {
+		speeds, _, _ = t.argminLagrangian(betaHi)
+		evals++
+	}
+	return finishDual(t, speeds, evals, powerObjective)
+}
+
+// MinimizeDelayDual solves C2 by the symmetric dual: bisect β ≥ 0 so the
+// power of the per-tier minimizers of f_j + β·g_j meets the energy budget.
+func MinimizeDelayDual(c *cluster.Cluster, o DelayOptions) (*Solution, error) {
+	if !(o.EnergyBudget > 0) {
+		return nil, fmt.Errorf("core: energy budget %g must be positive", o.EnergyBudget)
+	}
+	if o.Weights != nil && len(o.Weights) != len(c.Classes) {
+		return nil, fmt.Errorf("core: %d weights for %d classes", len(o.Weights), len(c.Classes))
+	}
+	t, err := newTierFns(c, o.Weights)
+	if err != nil {
+		return nil, err
+	}
+	budget := o.EnergyBudget
+	evals := 0
+
+	// β = 0 minimizes delay alone (fastest speeds): if affordable, done.
+	s0, _, p0 := t.argminDelayLagrangian(0)
+	evals++
+	if p0 <= budget {
+		return finishDual(t, s0, evals, delayObjective)
+	}
+	// Feasibility: the cheapest point.
+	pMin := 0.0
+	for j := range t.c.Tiers {
+		pMin += t.powerAt(j, t.lo[j])
+	}
+	if pMin > budget {
+		return nil, fmt.Errorf("core: energy budget %g W infeasible: minimum stable power is %g W", budget, pMin)
+	}
+
+	betaHi := 1e-6
+	for {
+		_, _, p := t.argminDelayLagrangian(betaHi)
+		evals++
+		if p <= budget {
+			break
+		}
+		betaHi *= 4
+		if betaHi > 1e18 {
+			return nil, fmt.Errorf("core: dual multiplier failed to bracket the budget")
+		}
+	}
+	betaLo := 0.0
+	var speeds []float64
+	for i := 0; i < 100 && betaHi-betaLo > 1e-12*(1+betaHi); i++ {
+		mid := (betaLo + betaHi) / 2
+		s, _, p := t.argminDelayLagrangian(mid)
+		evals++
+		if p <= budget {
+			betaHi = mid
+			speeds = s
+		} else {
+			betaLo = mid
+		}
+	}
+	if speeds == nil {
+		speeds, _, _ = t.argminDelayLagrangian(betaHi)
+		evals++
+	}
+	return finishDual(t, speeds, evals, delayObjective)
+}
+
+// dualObjective selects what the assembled Solution reports as Objective.
+type dualObjective int
+
+const (
+	powerObjective dualObjective = iota // C3a: minimized power
+	delayObjective                      // C2: minimized weighted delay
+)
+
+// finishDual assembles a Solution at the decomposed speeds. The objective is
+// recomputed from the separable tier functions so custom weights are
+// honoured.
+func finishDual(t *tierFns, speeds []float64, evals int, kind dualObjective) (*Solution, error) {
+	out := t.c.Clone()
+	if err := out.SetSpeeds(speeds); err != nil {
+		return nil, err
+	}
+	m, err := cluster.Evaluate(out)
+	if err != nil {
+		return nil, err
+	}
+	obj := m.TotalPower
+	if kind == delayObjective {
+		obj = 0
+		for j := range t.c.Tiers {
+			obj += t.delayAt(j, speeds[j])
+		}
+	}
+	return &Solution{
+		Cluster: out, Metrics: m,
+		Objective: obj,
+		Result:    opt.Result{X: speeds, F: obj, Evals: evals, Converged: true},
+	}, nil
+}

@@ -1,0 +1,99 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"clusterq/internal/cluster"
+	"clusterq/internal/opt"
+)
+
+// DelayOptions configures MinimizeDelay (problem C2).
+type DelayOptions struct {
+	// EnergyBudget is the average power cap in watts (required, > 0).
+	EnergyBudget float64
+	// Weights optionally reweights the per-class delays in the objective;
+	// nil uses arrival-rate weighting (the paper's all-class average).
+	Weights []float64
+	// Starts is the number of multi-start points (default 4).
+	Starts int
+	// Solver options for the inner augmented-Lagrangian solves.
+	AugLag opt.AugLagOptions
+}
+
+// MinimizeDelay solves the paper's C2 problem: choose per-tier speeds to
+// minimize the average end-to-end delay subject to the cluster's average
+// power staying within the energy budget.
+//
+//	min_s  Σ_k w_k D_k(s) / Σ_k w_k
+//	s.t.   P(s) ≤ EnergyBudget,  s ∈ [s_min, s_max] per tier
+//
+// Delay decreases and power increases in every speed, so the budget
+// constraint is active at the optimum whenever it bites; the augmented
+// Lagrangian handles the trade-off, multi-start guards against the
+// non-convexity introduced by priority interactions across tiers.
+func MinimizeDelay(c *cluster.Cluster, o DelayOptions) (*Solution, error) {
+	if !(o.EnergyBudget > 0) {
+		return nil, fmt.Errorf("core: energy budget %g must be positive", o.EnergyBudget)
+	}
+	if o.Weights != nil && len(o.Weights) != len(c.Classes) {
+		return nil, fmt.Errorf("core: %d weights for %d classes", len(o.Weights), len(c.Classes))
+	}
+	ev, err := newEvaluator(c)
+	if err != nil {
+		return nil, err
+	}
+	box, err := ev.box()
+	if err != nil {
+		return nil, err
+	}
+
+	// The cheapest stable configuration must fit the budget, or the
+	// problem is infeasible outright.
+	if minPow := ev.power(box.Lo); minPow > o.EnergyBudget {
+		return nil, fmt.Errorf("core: energy budget %g W infeasible: minimum stable power is %g W",
+			o.EnergyBudget, minPow)
+	}
+
+	objective := func(s []float64) float64 { return ev.weightedDelay(s, o.Weights) }
+	budget := func(s []float64) float64 { return ev.power(s) - o.EnergyBudget }
+
+	starts := o.Starts
+	if starts <= 0 {
+		starts = 4
+	}
+	solve := func(x0 []float64) opt.Result {
+		return opt.AugmentedLagrangian(objective, []opt.Constraint{budget}, box, x0, o.AugLag)
+	}
+	r := opt.MultiStart(solve, box, starts)
+	if math.IsInf(r.F, 1) {
+		return nil, fmt.Errorf("core: no stable configuration found within the energy budget")
+	}
+	// Guard: the returned point must respect the budget (small tolerance
+	// inherent to the multiplier method).
+	if v := budget(r.X); v > 1e-3*(1+o.EnergyBudget) {
+		return nil, fmt.Errorf("core: solver left budget violated by %g W", v)
+	}
+	return ev.finish(r.X, r.F, r)
+}
+
+// DelayFrontier sweeps MinimizeDelay over a list of energy budgets and
+// returns the achieved minimum delays — the energy/performance trade-off
+// curve of the paper's Fig.-3-style plot. Budgets below feasibility produce
+// NaN entries rather than an error so sweeps can span the interesting range.
+func DelayFrontier(c *cluster.Cluster, budgets []float64, o DelayOptions) ([]float64, []*Solution, error) {
+	delays := make([]float64, len(budgets))
+	sols := make([]*Solution, len(budgets))
+	for i, b := range budgets {
+		oo := o
+		oo.EnergyBudget = b
+		sol, err := MinimizeDelay(c, oo)
+		if err != nil {
+			delays[i] = math.NaN()
+			continue
+		}
+		delays[i] = sol.Objective
+		sols[i] = sol
+	}
+	return delays, sols, nil
+}

@@ -1,0 +1,176 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"clusterq/internal/cluster"
+	"clusterq/internal/opt"
+)
+
+// EnergyOptions configures MinimizeEnergy and MinimizeEnergyPerClass
+// (problems C3a and C3b).
+type EnergyOptions struct {
+	// MaxWeightedDelay bounds the aggregate (arrival-rate-weighted)
+	// average end-to-end delay; used by MinimizeEnergy.
+	MaxWeightedDelay float64
+	// MaxClassDelay[k] bounds class k's average end-to-end delay; used by
+	// MinimizeEnergyPerClass. Entries ≤ 0 mean "unconstrained".
+	MaxClassDelay []float64
+	// Starts is the number of multi-start points (default 4).
+	Starts int
+	// Solver options for the inner augmented-Lagrangian solves.
+	AugLag opt.AugLagOptions
+}
+
+// MinimizeEnergy solves the paper's C3a problem: choose per-tier speeds to
+// minimize the cluster's average power subject to the all-class average
+// end-to-end delay staying within the bound.
+//
+//	min_s  P(s)
+//	s.t.   D̄(s) ≤ MaxWeightedDelay,  s ∈ [s_min, s_max]
+//
+// Power increases and delay decreases in every speed, so the optimum runs
+// the cluster as slowly as the delay bound allows.
+func MinimizeEnergy(c *cluster.Cluster, o EnergyOptions) (*Solution, error) {
+	if !(o.MaxWeightedDelay > 0) {
+		return nil, fmt.Errorf("core: delay bound %g must be positive", o.MaxWeightedDelay)
+	}
+	ev, err := newEvaluator(c)
+	if err != nil {
+		return nil, err
+	}
+	box, err := ev.box()
+	if err != nil {
+		return nil, err
+	}
+	// Feasibility: the fastest configuration gives the smallest achievable
+	// delay.
+	if dMin := ev.weightedDelay(box.Hi, nil); dMin > o.MaxWeightedDelay {
+		return nil, fmt.Errorf("core: delay bound %g s infeasible: best achievable is %g s",
+			o.MaxWeightedDelay, dMin)
+	}
+
+	objective := func(s []float64) float64 { return ev.power(s) }
+	bound := func(s []float64) float64 {
+		d := ev.weightedDelay(s, nil)
+		if math.IsInf(d, 1) {
+			return math.Inf(1)
+		}
+		return d - o.MaxWeightedDelay
+	}
+
+	starts := o.Starts
+	if starts <= 0 {
+		starts = 4
+	}
+	solve := func(x0 []float64) opt.Result {
+		return opt.AugmentedLagrangian(objective, []opt.Constraint{bound}, box, x0, o.AugLag)
+	}
+	r := opt.MultiStart(solve, box, starts)
+	if math.IsInf(r.F, 1) {
+		return nil, fmt.Errorf("core: no feasible configuration found")
+	}
+	if v := bound(r.X); v > 1e-3*(1+o.MaxWeightedDelay) {
+		return nil, fmt.Errorf("core: solver left delay bound violated by %g s", v)
+	}
+	return ev.finish(r.X, r.F, r)
+}
+
+// MinimizeEnergyPerClass solves the paper's C3b problem: minimize power with
+// an individual delay bound per class (entries ≤ 0 are unconstrained).
+//
+//	min_s  P(s)
+//	s.t.   D_k(s) ≤ MaxClassDelay[k] for every bounded class k.
+//
+// Per-class bounds interact with priority: tight bounds on low-priority
+// classes are the expensive ones, since the only lever that helps them — more
+// speed — also overshoots the already-easy high-priority bounds.
+func MinimizeEnergyPerClass(c *cluster.Cluster, o EnergyOptions) (*Solution, error) {
+	if len(o.MaxClassDelay) != len(c.Classes) {
+		return nil, fmt.Errorf("core: %d delay bounds for %d classes", len(o.MaxClassDelay), len(c.Classes))
+	}
+	anyBound := false
+	for _, b := range o.MaxClassDelay {
+		if b > 0 {
+			anyBound = true
+		}
+	}
+	if !anyBound {
+		return nil, fmt.Errorf("core: no positive delay bound given")
+	}
+	ev, err := newEvaluator(c)
+	if err != nil {
+		return nil, err
+	}
+	box, err := ev.box()
+	if err != nil {
+		return nil, err
+	}
+	// Feasibility at maximum speed.
+	if mFast := ev.metricsAt(box.Hi); mFast == nil {
+		return nil, fmt.Errorf("core: cluster invalid at maximum speeds")
+	} else {
+		for k, b := range o.MaxClassDelay {
+			if b > 0 && mFast.Delay[k] > b {
+				return nil, fmt.Errorf("core: class %d bound %g s infeasible: best achievable is %g s",
+					k, b, mFast.Delay[k])
+			}
+		}
+	}
+
+	objective := func(s []float64) float64 { return ev.power(s) }
+	var gs []opt.Constraint
+	for k, b := range o.MaxClassDelay {
+		if b <= 0 {
+			continue
+		}
+		k, b := k, b
+		gs = append(gs, func(s []float64) float64 {
+			m := ev.metricsAt(s)
+			if m == nil || math.IsInf(m.Delay[k], 1) {
+				return math.Inf(1)
+			}
+			// Normalize so the multiplier scale is comparable across
+			// classes with very different bounds.
+			return (m.Delay[k] - b) / b
+		})
+	}
+
+	starts := o.Starts
+	if starts <= 0 {
+		starts = 4
+	}
+	solve := func(x0 []float64) opt.Result {
+		return opt.AugmentedLagrangian(objective, gs, box, x0, o.AugLag)
+	}
+	r := opt.MultiStart(solve, box, starts)
+	if math.IsInf(r.F, 1) {
+		return nil, fmt.Errorf("core: no feasible configuration found")
+	}
+	for i, g := range gs {
+		if v := g(r.X); v > 1e-3 {
+			return nil, fmt.Errorf("core: solver left constraint %d violated by %g (relative)", i, v)
+		}
+	}
+	return ev.finish(r.X, r.F, r)
+}
+
+// BindingClasses reports which bounded classes sit within tol (relative) of
+// their delay bound in the solution — the classes whose SLAs actually cost
+// energy.
+func BindingClasses(sol *Solution, bounds []float64, tol float64) []int {
+	if tol <= 0 {
+		tol = 0.02
+	}
+	var binding []int
+	for k, b := range bounds {
+		if b <= 0 || k >= len(sol.Metrics.Delay) {
+			continue
+		}
+		if sol.Metrics.Delay[k] >= b*(1-tol) {
+			binding = append(binding, k)
+		}
+	}
+	return binding
+}

@@ -1,0 +1,105 @@
+package core
+
+import (
+	"testing"
+
+	"clusterq/internal/cluster"
+)
+
+func TestMinimizeEnergyTailMeetsBounds(t *testing.T) {
+	c := symCluster(3, 2, 0.5)
+	bounds := []TailBound{
+		{Delay: 5, Percentile: 0.95},
+		{Delay: 12, Percentile: 0.95},
+	}
+	sol, err := MinimizeEnergyTail(c, TailOptions{Bounds: bounds, Starts: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, b := range bounds {
+		q, err := cluster.DelayQuantile(sol.Cluster, sol.Metrics, k, b.Percentile)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if q > b.Delay*1.005 {
+			t.Errorf("class %d p95 %g exceeds bound %g", k, q, b.Delay)
+		}
+	}
+}
+
+func TestTailBoundCostsMoreThanEqualMeanBound(t *testing.T) {
+	// Requiring the p95 below X is strictly harder than requiring the MEAN
+	// below X, so it must cost at least as much power.
+	c := symCluster(2, 2, 0.5)
+	x := 3.0
+	meanSol, err := MinimizeEnergyPerClass(c, EnergyOptions{MaxClassDelay: []float64{x, x}, Starts: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tailSol, err := MinimizeEnergyTail(c, TailOptions{
+		Bounds: []TailBound{{Delay: x, Percentile: 0.95}, {Delay: x, Percentile: 0.95}},
+		Starts: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(tailSol.Objective >= meanSol.Objective*0.999) {
+		t.Errorf("tail bound power %g below mean bound power %g", tailSol.Objective, meanSol.Objective)
+	}
+}
+
+func TestMinimizeEnergyTailUnconstrainedEntries(t *testing.T) {
+	c := symCluster(2, 3, 0.4)
+	bounds := []TailBound{{}, {}, {Delay: 8, Percentile: 0.9}}
+	sol, err := MinimizeEnergyTail(c, TailOptions{Bounds: bounds, Starts: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := cluster.DelayQuantile(sol.Cluster, sol.Metrics, 2, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q > 8*1.005 {
+		t.Errorf("p90 %g exceeds 8", q)
+	}
+}
+
+func TestMinimizeEnergyTailErrors(t *testing.T) {
+	c := symCluster(2, 2, 0.4)
+	if _, err := MinimizeEnergyTail(c, TailOptions{Bounds: []TailBound{{}}}); err == nil {
+		t.Error("wrong bound count accepted")
+	}
+	if _, err := MinimizeEnergyTail(c, TailOptions{Bounds: []TailBound{{}, {}}}); err == nil {
+		t.Error("all-unconstrained accepted")
+	}
+	if _, err := MinimizeEnergyTail(c, TailOptions{
+		Bounds: []TailBound{{Delay: 1, Percentile: 1.5}, {}},
+	}); err == nil {
+		t.Error("percentile > 1 accepted")
+	}
+	if _, err := MinimizeEnergyTail(c, TailOptions{
+		Bounds: []TailBound{{Delay: 1e-9, Percentile: 0.95}, {}},
+	}); err == nil {
+		t.Error("impossible bound accepted")
+	}
+}
+
+func TestTighterPercentileCostsMore(t *testing.T) {
+	c := symCluster(2, 2, 0.5)
+	x := 4.0
+	p90, err := MinimizeEnergyTail(c, TailOptions{
+		Bounds: []TailBound{{}, {Delay: x, Percentile: 0.9}}, Starts: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p99, err := MinimizeEnergyTail(c, TailOptions{
+		Bounds: []TailBound{{}, {Delay: x, Percentile: 0.99}}, Starts: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(p99.Objective >= p90.Objective*0.999) {
+		t.Errorf("p99 power %g below p90 power %g", p99.Objective, p90.Objective)
+	}
+}

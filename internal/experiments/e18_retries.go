@@ -1,0 +1,62 @@
+package experiments
+
+import (
+	"clusterq/internal/cluster"
+	"clusterq/internal/sim"
+	"clusterq/internal/workload"
+
+	"clusterq/internal/queueing"
+)
+
+// E18 is the retry (probabilistic routing) extension: a fraction of bronze
+// requests fails at the database tier and retries the app→db leg. Retries
+// inflate the effective load — capacity the provider never billed for — so
+// delay and energy erode super-linearly in the retry probability, and the
+// cluster saturates well before the nominal load suggests. Analytic (traffic
+// equations + priority network) and simulated side by side.
+type E18 struct{}
+
+func (E18) ID() string { return "E18" }
+func (E18) Title() string {
+	return "Extension — retry storms under probabilistic routing: delay and energy vs retry probability"
+}
+
+// bronzeRetryRouting builds the 3-tier chains: gold and silver flow
+// web→app→db and exit; bronze retries the app tier after db with
+// probability p (a failed transaction replays its application logic).
+func bronzeRetryRouting(p float64) []*queueing.ClassRouting {
+	tandem := &queueing.ClassRouting{
+		Entry: []float64{1, 0, 0},
+		Next:  [][]float64{{0, 1, 0}, {0, 0, 1}, {0, 0, 0}},
+	}
+	retry := &queueing.ClassRouting{
+		Entry: []float64{1, 0, 0},
+		Next:  [][]float64{{0, 1, 0}, {0, 0, 1}, {0, p, 0}},
+	}
+	return []*queueing.ClassRouting{tandem, tandem, retry}
+}
+
+func (E18) Run(cfg Config) ([]*Table, error) {
+	horizon, reps := cfg.simScale()
+	t := NewTable("bronze retries the app→db leg with probability p (load 70%)",
+		"retry p", "bronze visits db", "bronze delay model (s)", "bronze delay sim (s)",
+		"gold delay model (s)", "power model (W)", "power sim (W)")
+	for _, p := range []float64{0, 0.1, 0.25, 0.4, 0.5} {
+		c := workload.CapacityFraction(workload.Enterprise3Tier(1), 0.7)
+		c.Routing = bronzeRetryRouting(p)
+		m, err := cluster.Evaluate(c)
+		if err != nil {
+			return nil, err
+		}
+		visits := c.VisitRates(2)
+		res, err := sim.Run(c, sim.Options{Horizon: horizon, Replications: reps, Seed: cfg.Seed + 18})
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(p, visits[2],
+			m.Delay[2], PlusMinus(res.Delay[2].Mean, res.Delay[2].HalfW),
+			m.Delay[0], m.TotalPower,
+			PlusMinus(res.TotalPower.Mean, res.TotalPower.HalfW))
+	}
+	return []*Table{t}, nil
+}

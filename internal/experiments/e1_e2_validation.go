@@ -1,0 +1,112 @@
+package experiments
+
+import (
+	"math"
+
+	"clusterq/internal/cluster"
+	"clusterq/internal/sim"
+	"clusterq/internal/workload"
+)
+
+// validationFracs are the bottleneck-utilization levels the validation tables
+// sweep, matching the light-to-heavy progression evaluation sections use.
+var validationFracs = []float64{0.3, 0.5, 0.7, 0.85}
+
+// E1 reconstructs Table I: analytical vs simulated per-class mean end-to-end
+// delay across load levels, with the relative model error — the "accurate"
+// claim of the abstract, quantified.
+type E1 struct{}
+
+func (E1) ID() string { return "E1" }
+func (E1) Title() string {
+	return "Table I — model validation: per-class mean end-to-end delay, analytic vs simulation"
+}
+
+func (E1) Run(cfg Config) ([]*Table, error) {
+	horizon, reps := cfg.simScale()
+	base := workload.Enterprise3Tier(1)
+	t := NewTable("per-class delay (s)",
+		"load", "class", "analytic", "simulated (95% CI)", "rel. error")
+	for _, frac := range validationFracs {
+		c := workload.CapacityFraction(base, frac)
+		m, err := cluster.Evaluate(c)
+		if err != nil {
+			return nil, err
+		}
+		res, err := sim.Run(c, sim.Options{Horizon: horizon, Replications: reps, Seed: cfg.Seed + 1})
+		if err != nil {
+			return nil, err
+		}
+		for k, cl := range c.Classes {
+			est := res.Delay[k]
+			t.AddRow(frac, cl.Name, m.Delay[k], PlusMinus(est.Mean, est.HalfW), Pct(est.RelErr(m.Delay[k])))
+		}
+	}
+	return []*Table{t}, nil
+}
+
+// E2 reconstructs Table II: analytical vs simulated average power and
+// per-class energy per request.
+type E2 struct{}
+
+func (E2) ID() string { return "E2" }
+func (E2) Title() string {
+	return "Table II — model validation: average power and per-request energy, analytic vs simulation"
+}
+
+func (E2) Run(cfg Config) ([]*Table, error) {
+	horizon, reps := cfg.simScale()
+	base := workload.Enterprise3Tier(1)
+
+	tp := NewTable("cluster average power (W)",
+		"load", "analytic", "simulated (95% CI)", "rel. error")
+	te := NewTable("per-request dynamic energy (J)",
+		"load", "class", "analytic", "simulated (95% CI)", "rel. error")
+
+	for _, frac := range validationFracs {
+		c := workload.CapacityFraction(base, frac)
+		m, err := cluster.Evaluate(c)
+		if err != nil {
+			return nil, err
+		}
+		res, err := sim.Run(c, sim.Options{Horizon: horizon, Replications: reps, Seed: cfg.Seed + 2})
+		if err != nil {
+			return nil, err
+		}
+		tp.AddRow(frac, m.TotalPower,
+			PlusMinus(res.TotalPower.Mean, res.TotalPower.HalfW),
+			Pct(res.TotalPower.RelErr(m.TotalPower)))
+		for k, cl := range c.Classes {
+			est := res.EnergyPerRequest[k]
+			te.AddRow(frac, cl.Name, m.EnergyPerRequest[k],
+				PlusMinus(est.Mean, est.HalfW), Pct(est.RelErr(m.EnergyPerRequest[k])))
+		}
+	}
+	return []*Table{tp, te}, nil
+}
+
+// MaxValidationError runs the E1 sweep and returns the worst relative delay
+// error between model and simulation — used by tests to enforce the paper's
+// "efficient and accurate" claim quantitatively.
+func MaxValidationError(cfg Config) (float64, error) {
+	horizon, reps := cfg.simScale()
+	base := workload.Enterprise3Tier(1)
+	worst := 0.0
+	for _, frac := range validationFracs {
+		c := workload.CapacityFraction(base, frac)
+		m, err := cluster.Evaluate(c)
+		if err != nil {
+			return 0, err
+		}
+		res, err := sim.Run(c, sim.Options{Horizon: horizon, Replications: reps, Seed: cfg.Seed + 1})
+		if err != nil {
+			return 0, err
+		}
+		for k := range c.Classes {
+			if e := res.Delay[k].RelErr(m.Delay[k]); !math.IsNaN(e) && e > worst {
+				worst = e
+			}
+		}
+	}
+	return worst, nil
+}

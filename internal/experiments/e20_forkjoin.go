@@ -1,0 +1,66 @@
+package experiments
+
+import (
+	"fmt"
+
+	"clusterq/internal/queueing"
+	"clusterq/internal/sim"
+)
+
+// E20 is the fork-join extension: the cost of parallelizing a cluster job
+// across k nodes when completion requires ALL subtasks (the join barrier).
+// The table reports the synchronization penalty R(k)/R(1) from the
+// Nelson–Tantawi approximation with simulation alongside — the quantitative
+// answer to "how much of my k-way speedup does the straggler barrier eat?".
+type E20 struct{}
+
+func (E20) ID() string { return "E20" }
+func (E20) Title() string {
+	return "Extension — fork-join synchronization penalty R(k)/R(1), Nelson–Tantawi vs simulation"
+}
+
+func (E20) Run(cfg Config) ([]*Table, error) {
+	horizon, reps := cfg.simScale()
+	widths := []int{1, 2, 4, 8, 16}
+	loads := []float64{0.3, 0.6, 0.85}
+	if cfg.Quick {
+		widths = widths[:4]
+	}
+
+	cols := []string{"k"}
+	for _, rho := range loads {
+		cols = append(cols, fmt.Sprintf("ρ=%.2g NT", rho), fmt.Sprintf("ρ=%.2g sim", rho))
+	}
+	t := NewTable("mean response time (s), μ=1 per node", cols...)
+	for _, k := range widths {
+		row := []any{k}
+		for _, rho := range loads {
+			nt, err := queueing.ForkJoinNelsonTantawi(k, rho, 1)
+			if err != nil {
+				return nil, err
+			}
+			est, err := sim.SimulateForkJoin(k, rho, 1, horizon, reps, cfg.Seed+20)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, nt, Cell(est.Mean))
+		}
+		t.AddRow(row...)
+	}
+
+	// The penalty view: how the join barrier scales with width and load.
+	tp := NewTable("synchronization penalty R(k)/R(1) (Nelson–Tantawi)",
+		"k", "ρ=0.1", "ρ=0.5", "ρ=0.9")
+	for _, k := range widths {
+		row := []any{k}
+		for _, rho := range []float64{0.1, 0.5, 0.9} {
+			p, err := queueing.ForkJoinSyncPenalty(k, rho)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, p)
+		}
+		tp.AddRow(row...)
+	}
+	return []*Table{t, tp}, nil
+}

@@ -1,0 +1,50 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"clusterq/internal/core"
+	"clusterq/internal/workload"
+)
+
+// E9 reconstructs Fig. 6: solver efficiency — wall time and objective
+// evaluations of the C3a optimization as the cluster grows in tiers and
+// classes (the "efficient" claim of the abstract).
+type E9 struct{}
+
+func (E9) ID() string { return "E9" }
+func (E9) Title() string {
+	return "Fig. 6 — solver efficiency vs problem size (tiers × classes)"
+}
+
+func (E9) Run(cfg Config) ([]*Table, error) {
+	starts, al := solverScale(cfg)
+	shapes := []struct{ j, k int }{{2, 2}, {3, 3}, {5, 3}, {5, 6}, {8, 4}}
+	if cfg.Quick {
+		shapes = shapes[:3]
+	}
+	t := NewTable("MinimizeEnergy solve cost by problem size",
+		"tiers", "classes", "wall time (ms)", "objective evals", "power (W)", "delay bound met")
+	for _, sh := range shapes {
+		c := workload.Scalable(sh.j, sh.k, 1)
+		// A mid-range bound: double the best achievable delay.
+		_, dWorst, err := delayRange(c)
+		if err != nil {
+			return nil, err
+		}
+		bound := dWorst * 0.5
+		startT := time.Now()
+		sol, err := core.MinimizeEnergy(c, core.EnergyOptions{MaxWeightedDelay: bound, Starts: starts, AugLag: al})
+		elapsed := time.Since(startT)
+		if err != nil {
+			t.AddRow(sh.j, sh.k, Cell(float64(elapsed.Milliseconds())), "-", "error: "+err.Error(), "-")
+			continue
+		}
+		met := sol.Metrics.WeightedDelay <= bound*1.002
+		t.AddRow(sh.j, sh.k,
+			fmt.Sprintf("%.1f", float64(elapsed.Microseconds())/1000),
+			sol.Result.Evals, sol.Objective, yesNo(met))
+	}
+	return []*Table{t}, nil
+}

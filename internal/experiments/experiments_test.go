@@ -1,0 +1,276 @@
+package experiments
+
+import (
+	"bytes"
+	"math"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func quickCfg() Config { return Config{Quick: true} }
+
+func TestAllExperimentsRun(t *testing.T) {
+	// Every experiment must run to completion in quick mode and emit at
+	// least one non-empty table. This is the smoke test that keeps the
+	// whole harness wired together.
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID(), func(t *testing.T) {
+			t.Parallel()
+			tables, err := e.Run(quickCfg())
+			if err != nil {
+				t.Fatalf("%s: %v", e.ID(), err)
+			}
+			if len(tables) == 0 {
+				t.Fatalf("%s: no tables", e.ID())
+			}
+			for _, tab := range tables {
+				if len(tab.Rows) == 0 {
+					t.Errorf("%s: empty table %q", e.ID(), tab.Title)
+				}
+				for _, row := range tab.Rows {
+					if len(row) != len(tab.Columns) {
+						t.Errorf("%s: ragged row in %q: %v", e.ID(), tab.Title, row)
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestByID(t *testing.T) {
+	e, err := ByID("E5")
+	if err != nil || e.ID() != "E5" {
+		t.Fatalf("ByID(E5) = %v, %v", e, err)
+	}
+	if _, err := ByID("E99"); err == nil {
+		t.Error("unknown id accepted")
+	}
+}
+
+func TestRunAndPrint(t *testing.T) {
+	var buf bytes.Buffer
+	if err := RunAndPrint(E3{}, quickCfg(), &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "E3") || !strings.Contains(out, "gold") {
+		t.Errorf("unexpected output: %.200q", out)
+	}
+}
+
+func TestE1ValidationAccuracy(t *testing.T) {
+	// The headline claim: the analytic model tracks simulation. Even in
+	// quick mode the worst per-class delay error across loads should stay
+	// within 25% (full mode is far tighter; see EXPERIMENTS.md).
+	worst, err := MaxValidationError(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if worst > 0.25 {
+		t.Errorf("worst model-vs-sim delay error = %.1f%%", worst*100)
+	}
+	if worst == 0 {
+		t.Error("suspiciously exact agreement; is the simulator running?")
+	}
+}
+
+func TestE3PrioritySeparationShape(t *testing.T) {
+	tables, err := E3{}.Run(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := tables[0].Rows
+	// Delay columns: gold < silver < bronze in every row, and bronze grows
+	// monotonically with load.
+	prevBronze := 0.0
+	for _, row := range rows {
+		g, _ := strconv.ParseFloat(row[2], 64)
+		s, _ := strconv.ParseFloat(row[3], 64)
+		b, _ := strconv.ParseFloat(row[4], 64)
+		if !(g < s && s < b) {
+			t.Errorf("row %v: not priority-ordered", row)
+		}
+		if b < prevBronze {
+			t.Errorf("bronze delay fell with load: %v", row)
+		}
+		prevBronze = b
+	}
+	// Saturation shape: the last bronze delay is much larger than the first.
+	first, _ := strconv.ParseFloat(rows[0][4], 64)
+	last, _ := strconv.ParseFloat(rows[len(rows)-1][4], 64)
+	if last < 5*first {
+		t.Errorf("bronze delay did not blow up toward saturation: %g → %g", first, last)
+	}
+}
+
+func TestE5OptimizerDominatesBaseline(t *testing.T) {
+	tables, err := E5{}.Run(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sawComparison := false
+	for _, row := range tables[0].Rows {
+		optD, err1 := strconv.ParseFloat(row[1], 64)
+		baseD, err2 := strconv.ParseFloat(row[2], 64)
+		if err1 != nil || err2 != nil {
+			continue // infeasible rows
+		}
+		sawComparison = true
+		if optD > baseD*1.02 {
+			t.Errorf("optimizer (%g) worse than baseline (%g) at budget %s", optD, baseD, row[0])
+		}
+	}
+	if !sawComparison {
+		t.Error("no feasible budget rows to compare")
+	}
+}
+
+func TestE6OptimizerDominatesBaseline(t *testing.T) {
+	tables, err := E6{}.Run(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	saw := false
+	for _, row := range tables[0].Rows {
+		optP, err1 := strconv.ParseFloat(row[1], 64)
+		baseP, err2 := strconv.ParseFloat(row[2], 64)
+		if err1 != nil || err2 != nil {
+			continue
+		}
+		saw = true
+		if optP > baseP*1.02 {
+			t.Errorf("optimizer (%g W) worse than baseline (%g W) at bound %s", optP, baseP, row[0])
+		}
+	}
+	if !saw {
+		t.Error("no feasible bound rows to compare")
+	}
+}
+
+func TestE7BronzeBindsWhenTight(t *testing.T) {
+	tables, err := E7{}.Run(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := tables[0].Rows
+	// The tightest bound row should list bronze among the binding classes.
+	tightest := rows[0]
+	if !strings.Contains(tightest[4], "bronze") && tightest[3] != "infeasible" {
+		t.Errorf("tight bronze bound not binding: %v", tightest)
+	}
+	// Power must not increase as the bronze bound loosens.
+	var prev float64 = 1e18
+	for _, row := range rows {
+		p, err := strconv.ParseFloat(row[3], 64)
+		if err != nil {
+			continue
+		}
+		if p > prev*1.03 {
+			t.Errorf("power rose as bound loosened: %v", rows)
+		}
+		prev = p
+	}
+}
+
+func TestE8GreedyCheapest(t *testing.T) {
+	tables, err := E8{}.Run(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := tables[0].Rows
+	var greedy, uniform, prop float64 = -1, -1, -1
+	for _, row := range rows {
+		v, err := strconv.ParseFloat(row[1], 64)
+		if err != nil {
+			continue
+		}
+		switch {
+		case strings.HasPrefix(row[0], "greedy"):
+			greedy = v
+		case row[0] == "uniform":
+			uniform = v
+		case row[0] == "proportional":
+			prop = v
+		}
+		// Every policy that produced a number must satisfy the model SLAs.
+		if row[4] != "yes" {
+			t.Errorf("%s allocation violates SLAs in the model: %v", row[0], row)
+		}
+	}
+	if greedy < 0 {
+		t.Fatal("greedy row missing")
+	}
+	if uniform > 0 && greedy > uniform {
+		t.Errorf("greedy (%g) costs more than uniform (%g)", greedy, uniform)
+	}
+	if prop > 0 && greedy > prop*1.001 {
+		t.Errorf("greedy (%g) costs more than proportional (%g)", greedy, prop)
+	}
+}
+
+func TestE10DisciplineShape(t *testing.T) {
+	tables, err := E10{}.Run(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := tables[0].Rows
+	if len(rows) != 3 {
+		t.Fatalf("expected 3 class rows, got %d", len(rows))
+	}
+	// Gold under NP must beat gold under FCFS (model columns 1 and 3).
+	goldFCFS, _ := strconv.ParseFloat(rows[0][1], 64)
+	goldNP, _ := strconv.ParseFloat(rows[0][3], 64)
+	if !(goldNP < goldFCFS) {
+		t.Errorf("priority did not help gold: FCFS %g vs NP %g", goldFCFS, goldNP)
+	}
+	// Bronze pays for it.
+	bronzeFCFS, _ := strconv.ParseFloat(rows[2][1], 64)
+	bronzeNP, _ := strconv.ParseFloat(rows[2][3], 64)
+	if !(bronzeNP > bronzeFCFS) {
+		t.Errorf("priority did not cost bronze: FCFS %g vs NP %g", bronzeFCFS, bronzeNP)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tab := NewTable("demo", "a", "b")
+	tab.AddRow(1.0, "x")
+	tab.AddRow(0.000123456, 42)
+	var buf bytes.Buffer
+	if err := tab.WriteASCII(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "demo") || !strings.Contains(out, "0.000123") {
+		t.Errorf("ascii output: %q", out)
+	}
+	buf.Reset()
+	if err := tab.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(buf.String(), "a,b\n") {
+		t.Errorf("csv output: %q", buf.String())
+	}
+}
+
+func TestCellFormatting(t *testing.T) {
+	cases := map[string]string{
+		Cell(0.0):            "0",
+		Cell("s"):            "s",
+		Cell(42):             "42",
+		Pct(0.0312):          "3.1%",
+		PlusMinus(1.5, 0.25): "1.5 ±0.25",
+	}
+	for got, want := range cases {
+		if got != want {
+			t.Errorf("got %q want %q", got, want)
+		}
+	}
+	if Cell(math.NaN()) != "-" {
+		t.Error("NaN cell")
+	}
+	if Cell(math.Inf(1)) != "inf" {
+		t.Error("Inf cell")
+	}
+}

@@ -1,0 +1,134 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Table is a rendered experiment artifact: a titled grid of cells.
+type Table struct {
+	Title   string
+	Columns []string
+	Rows    [][]string
+}
+
+// NewTable creates an empty table with the given title and columns.
+func NewTable(title string, columns ...string) *Table {
+	return &Table{Title: title, Columns: columns}
+}
+
+// AddRow appends a row; each cell is formatted with Cell.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		row[i] = Cell(c)
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// Cell formats one value for a table cell: floats get a compact significant-
+// digit rendering, NaN becomes "-", +Inf becomes "inf".
+func Cell(v any) string {
+	switch x := v.(type) {
+	case float64:
+		switch {
+		case math.IsNaN(x):
+			return "-"
+		case math.IsInf(x, 1):
+			return "inf"
+		case math.IsInf(x, -1):
+			return "-inf"
+		case x == 0:
+			return "0"
+		case math.Abs(x) >= 1e5 || math.Abs(x) < 1e-3:
+			return fmt.Sprintf("%.3g", x)
+		default:
+			return fmt.Sprintf("%.4g", x)
+		}
+	case string:
+		return x
+	default:
+		return fmt.Sprint(v)
+	}
+}
+
+// Pct renders a ratio as a percentage cell, e.g. 0.0312 → "3.1%".
+func Pct(ratio float64) string {
+	if math.IsNaN(ratio) {
+		return "-"
+	}
+	return fmt.Sprintf("%.1f%%", 100*ratio)
+}
+
+// PlusMinus renders "mean ± halfwidth" for simulation estimates.
+func PlusMinus(mean, halfw float64) string {
+	if math.IsNaN(mean) {
+		return "-"
+	}
+	if math.IsNaN(halfw) {
+		return Cell(mean)
+	}
+	return fmt.Sprintf("%s ±%s", Cell(mean), Cell(halfw))
+}
+
+// WriteASCII renders the table with aligned columns.
+func (t *Table) WriteASCII(w io.Writer) error {
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var sb strings.Builder
+	if t.Title != "" {
+		sb.WriteString(t.Title)
+		sb.WriteByte('\n')
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			sb.WriteString(c)
+			if pad := widths[i] - len(c); pad > 0 && i < len(cells)-1 {
+				sb.WriteString(strings.Repeat(" ", pad))
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	writeRow(t.Columns)
+	total := 0
+	for _, wd := range widths {
+		total += wd + 2
+	}
+	sb.WriteString(strings.Repeat("-", total))
+	sb.WriteByte('\n')
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+// WriteCSV renders the table as CSV (columns as the header row).
+func (t *Table) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.Columns); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

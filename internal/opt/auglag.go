@@ -1,0 +1,151 @@
+package opt
+
+import "math"
+
+// Constraint is an inequality constraint g(x) ≤ 0.
+type Constraint func(x []float64) float64
+
+// AugLagOptions configures the augmented-Lagrangian solver.
+type AugLagOptions struct {
+	OuterIters int     // default 30
+	Penalty0   float64 // initial penalty weight; default 10
+	PenaltyMul float64 // penalty growth per outer iteration; default 4
+	// CTol is the constraint-violation tolerance declaring feasibility;
+	// default 1e-6 (relative to 1+|g|).
+	CTol float64
+	// Inner configures the inner unconstrained-in-the-box solves.
+	Inner NelderMeadOptions
+}
+
+func (o *AugLagOptions) defaults() {
+	if o.OuterIters <= 0 {
+		o.OuterIters = 30
+	}
+	if o.Penalty0 <= 0 {
+		o.Penalty0 = 10
+	}
+	if o.PenaltyMul <= 1 {
+		o.PenaltyMul = 4
+	}
+	if o.CTol <= 0 {
+		o.CTol = 1e-6
+	}
+}
+
+// AugmentedLagrangian minimizes f subject to g_i(x) ≤ 0 and box constraints,
+// using the standard multiplier method for inequalities:
+//
+//	L(x; λ, μ) = f(x) + (1/2μ) Σ_i [max(0, λ_i + μ g_i(x))² − λ_i²]
+//
+// with multiplier update λ_i ← max(0, λ_i + μ g_i(x)). The inner problems
+// are solved by Nelder–Mead inside the box, making the method derivative-free
+// end to end — a good fit for queueing objectives whose gradients blow up at
+// the stability boundary.
+func AugmentedLagrangian(f Objective, gs []Constraint, box Box, x0 []float64, opts AugLagOptions) Result {
+	opts.defaults()
+	if len(gs) == 0 {
+		return NelderMead(f, box, x0, opts.Inner)
+	}
+
+	lambda := make([]float64, len(gs))
+	mu := opts.Penalty0
+	x := box.Project(append([]float64(nil), x0...))
+
+	totalEvals, totalIters := 0, 0
+	var best Result
+	best.F = math.Inf(1)
+	feasibleFound := false
+
+	for outer := 0; outer < opts.OuterIters; outer++ {
+		lagr := func(p []float64) float64 {
+			v := f(p)
+			if math.IsInf(v, 1) {
+				return v
+			}
+			for i, g := range gs {
+				gi := g(p)
+				if math.IsInf(gi, 1) {
+					return math.Inf(1)
+				}
+				t := lambda[i] + mu*gi
+				if t > 0 {
+					v += (t*t - lambda[i]*lambda[i]) / (2 * mu)
+				} else {
+					v -= lambda[i] * lambda[i] / (2 * mu)
+				}
+			}
+			return v
+		}
+		res := NelderMead(lagr, box, x, opts.Inner)
+		x = res.X
+		totalEvals += res.Evals
+		totalIters++
+
+		// Measure violation and update multipliers.
+		maxViol := 0.0
+		for i, g := range gs {
+			gi := g(x)
+			if gi > maxViol {
+				maxViol = gi
+			}
+			lambda[i] = math.Max(0, lambda[i]+mu*gi)
+		}
+
+		fx := f(x)
+		totalEvals++
+		if maxViol <= opts.CTol {
+			prevBest := best.F
+			if fx < best.F {
+				best = Result{X: append([]float64(nil), x...), F: fx}
+			}
+			// Two consecutive feasible solves with a stable objective:
+			// the multipliers have settled.
+			if feasibleFound && math.Abs(fx-prevBest) <= 1e-8*(1+math.Abs(prevBest)) {
+				best.Iters = totalIters
+				best.Evals = totalEvals
+				best.Converged = true
+				return best
+			}
+			feasibleFound = true
+		}
+		mu *= opts.PenaltyMul
+	}
+
+	if !feasibleFound {
+		// Return the least-violating point with Converged=false.
+		return Result{X: x, F: f(x), Iters: totalIters, Evals: totalEvals, Converged: false}
+	}
+	best.Iters = totalIters
+	best.Evals = totalEvals
+	best.Converged = true
+	return best
+}
+
+// MultiStart runs the given solver from several deterministic starting points
+// spread across the box (the center plus scaled lattice corners) and returns
+// the best result. starts ≥ 1; evaluation counts are accumulated.
+func MultiStart(solve func(x0 []float64) Result, box Box, starts int) Result {
+	if starts < 1 {
+		starts = 1
+	}
+	best := Result{F: math.Inf(1)}
+	dim := box.Dim()
+	for s := 0; s < starts; s++ {
+		x0 := make([]float64, dim)
+		for i := range x0 {
+			// Deterministic low-discrepancy-ish spread: fractional parts
+			// of multiples of the golden ratio, per start and dimension.
+			frac := math.Mod(0.5+float64(s)*0.6180339887498949+float64(i)*0.3819660112501051, 1)
+			x0[i] = box.Lo[i] + frac*box.Width(i)
+		}
+		r := solve(x0)
+		evals := best.Evals + r.Evals
+		iters := best.Iters + r.Iters
+		if r.F < best.F {
+			best = r
+		}
+		best.Evals = evals
+		best.Iters = iters
+	}
+	return best
+}

@@ -1,0 +1,153 @@
+package opt
+
+import (
+	"math"
+	"sort"
+)
+
+// NelderMeadOptions configures the simplex solver.
+type NelderMeadOptions struct {
+	MaxIters int     // default 200·dim
+	FTol     float64 // stop when the simplex f-spread falls below this; default 1e-10
+	XTol     float64 // stop when the simplex x-spread falls below this; default 1e-9
+	// InitStep scales the initial simplex relative to the box width
+	// (default 0.1).
+	InitStep float64
+}
+
+func (o *NelderMeadOptions) defaults(dim int) {
+	if o.MaxIters <= 0 {
+		o.MaxIters = 200 * dim
+	}
+	if o.FTol <= 0 {
+		o.FTol = 1e-10
+	}
+	if o.XTol <= 0 {
+		o.XTol = 1e-9
+	}
+	if o.InitStep <= 0 {
+		o.InitStep = 0.1
+	}
+}
+
+type nmVertex struct {
+	x []float64
+	f float64
+}
+
+// NelderMead minimizes f over the box starting from x0, projecting every
+// trial point into the box (a simple and effective way to respect bounds
+// with a derivative-free method).
+func NelderMead(f Objective, box Box, x0 []float64, opts NelderMeadOptions) Result {
+	dim := box.Dim()
+	opts.defaults(dim)
+
+	evals := 0
+	eval := func(x []float64) float64 {
+		evals++
+		return f(x)
+	}
+
+	// Initial simplex: x0 plus one perturbed vertex per dimension.
+	start := box.Project(append([]float64(nil), x0...))
+	simplex := make([]nmVertex, dim+1)
+	simplex[0] = nmVertex{x: append([]float64(nil), start...), f: eval(start)}
+	for i := 0; i < dim; i++ {
+		v := append([]float64(nil), start...)
+		step := opts.InitStep * box.Width(i)
+		if step == 0 {
+			step = opts.InitStep * (1 + math.Abs(start[i]))
+		}
+		v[i] += step
+		if v[i] > box.Hi[i] { // reflect inside
+			v[i] = start[i] - step
+		}
+		box.Project(v)
+		simplex[i+1] = nmVertex{x: v, f: eval(v)}
+	}
+
+	const (
+		alpha = 1.0 // reflection
+		gamma = 2.0 // expansion
+		rho   = 0.5 // contraction
+		sigma = 0.5 // shrink
+	)
+
+	iters := 0
+	converged := false
+	for ; iters < opts.MaxIters; iters++ {
+		sort.Slice(simplex, func(a, b int) bool { return simplex[a].f < simplex[b].f })
+		best, worst := simplex[0], simplex[dim]
+
+		// Convergence: f-spread and x-spread of the simplex.
+		fSpread := math.Abs(worst.f - best.f)
+		var xSpread float64
+		for i := 0; i < dim; i++ {
+			d := math.Abs(worst.x[i] - best.x[i])
+			if d > xSpread {
+				xSpread = d
+			}
+		}
+		if fSpread <= opts.FTol*(1+math.Abs(best.f)) && xSpread <= opts.XTol*(1+norm2(best.x)) {
+			converged = true
+			break
+		}
+
+		// Centroid of all but the worst vertex.
+		centroid := make([]float64, dim)
+		for _, v := range simplex[:dim] {
+			for i := range centroid {
+				centroid[i] += v.x[i]
+			}
+		}
+		for i := range centroid {
+			centroid[i] /= float64(dim)
+		}
+
+		mix := func(c float64) []float64 {
+			p := make([]float64, dim)
+			for i := range p {
+				p[i] = centroid[i] + c*(centroid[i]-worst.x[i])
+			}
+			return box.Project(p)
+		}
+
+		refl := mix(alpha)
+		fr := eval(refl)
+		switch {
+		case fr < best.f:
+			// Try to expand.
+			exp := mix(gamma)
+			fe := eval(exp)
+			if fe < fr {
+				simplex[dim] = nmVertex{x: exp, f: fe}
+			} else {
+				simplex[dim] = nmVertex{x: refl, f: fr}
+			}
+		case fr < simplex[dim-1].f:
+			simplex[dim] = nmVertex{x: refl, f: fr}
+		default:
+			// Contract toward the centroid.
+			con := mix(-rho)
+			fc := eval(con)
+			if fc < worst.f {
+				simplex[dim] = nmVertex{x: con, f: fc}
+			} else {
+				// Shrink toward the best vertex.
+				for i := 1; i <= dim; i++ {
+					for j := range simplex[i].x {
+						simplex[i].x[j] = best.x[j] + sigma*(simplex[i].x[j]-best.x[j])
+					}
+					box.Project(simplex[i].x)
+					simplex[i].f = eval(simplex[i].x)
+				}
+			}
+		}
+	}
+
+	sort.Slice(simplex, func(a, b int) bool { return simplex[a].f < simplex[b].f })
+	return Result{
+		X: simplex[0].x, F: simplex[0].f,
+		Iters: iters, Evals: evals, Converged: converged,
+	}
+}

@@ -1,0 +1,129 @@
+// Package opt is a from-scratch numerical optimization toolkit built for the
+// paper's resource-allocation problems: golden-section and bisection in one
+// dimension, Nelder–Mead and projected gradient descent with box constraints
+// in many, an augmented-Lagrangian method for inequality-constrained
+// problems, and a deterministic multi-start wrapper. It is stdlib-only.
+//
+// All solvers minimize. Objectives may return +Inf to mark infeasible points
+// (e.g. an unstable queueing configuration); the solvers treat such points as
+// uniformly bad and retreat from them.
+package opt
+
+import (
+	"fmt"
+	"math"
+)
+
+// Objective is a scalar function of a vector.
+type Objective func(x []float64) float64
+
+// Result reports the outcome of a minimization.
+type Result struct {
+	X         []float64 // best point found
+	F         float64   // objective at X
+	Iters     int       // outer iterations performed
+	Evals     int       // objective evaluations
+	Converged bool      // tolerance met before the iteration cap
+}
+
+func (r Result) String() string {
+	return fmt.Sprintf("f=%.6g at %v (iters=%d evals=%d converged=%v)",
+		r.F, r.X, r.Iters, r.Evals, r.Converged)
+}
+
+// Box holds per-coordinate lower and upper bounds.
+type Box struct {
+	Lo, Hi []float64
+}
+
+// NewBox validates the bounds and returns the box.
+func NewBox(lo, hi []float64) (Box, error) {
+	if len(lo) != len(hi) || len(lo) == 0 {
+		return Box{}, fmt.Errorf("opt: bound lengths %d vs %d", len(lo), len(hi))
+	}
+	for i := range lo {
+		if !(lo[i] <= hi[i]) {
+			return Box{}, fmt.Errorf("opt: bounds inverted at %d: [%g, %g]", i, lo[i], hi[i])
+		}
+	}
+	return Box{Lo: lo, Hi: hi}, nil
+}
+
+// Dim returns the dimensionality.
+func (b Box) Dim() int { return len(b.Lo) }
+
+// Project clamps x into the box in place and returns it.
+func (b Box) Project(x []float64) []float64 {
+	for i := range x {
+		if x[i] < b.Lo[i] {
+			x[i] = b.Lo[i]
+		}
+		if x[i] > b.Hi[i] {
+			x[i] = b.Hi[i]
+		}
+	}
+	return x
+}
+
+// Contains reports whether x lies inside the box (inclusive).
+func (b Box) Contains(x []float64) bool {
+	for i := range x {
+		if x[i] < b.Lo[i] || x[i] > b.Hi[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Center returns the box midpoint.
+func (b Box) Center() []float64 {
+	c := make([]float64, b.Dim())
+	for i := range c {
+		c[i] = (b.Lo[i] + b.Hi[i]) / 2
+	}
+	return c
+}
+
+// Width returns hi−lo per coordinate.
+func (b Box) Width(i int) float64 { return b.Hi[i] - b.Lo[i] }
+
+// Gradient approximates ∇f at x by central differences with a relative step.
+// Evaluations that hit +Inf fall back to one-sided differences.
+func Gradient(f Objective, x []float64) []float64 {
+	g := make([]float64, len(x))
+	xx := append([]float64(nil), x...)
+	fx := math.NaN() // computed lazily for one-sided fallbacks
+	for i := range x {
+		h := 1e-6 * (1 + math.Abs(x[i]))
+		xx[i] = x[i] + h
+		fp := f(xx)
+		xx[i] = x[i] - h
+		fm := f(xx)
+		xx[i] = x[i]
+		switch {
+		case !math.IsInf(fp, 1) && !math.IsInf(fm, 1):
+			g[i] = (fp - fm) / (2 * h)
+		case math.IsInf(fp, 1) && !math.IsInf(fm, 1):
+			if math.IsNaN(fx) {
+				fx = f(x)
+			}
+			g[i] = (fx - fm) / h
+		case !math.IsInf(fp, 1) && math.IsInf(fm, 1):
+			if math.IsNaN(fx) {
+				fx = f(x)
+			}
+			g[i] = (fp - fx) / h
+		default:
+			g[i] = 0 // surrounded by infeasibility; no usable direction
+		}
+	}
+	return g
+}
+
+func norm2(v []float64) float64 {
+	var s float64
+	for _, x := range v {
+		s += x * x
+	}
+	return math.Sqrt(s)
+}

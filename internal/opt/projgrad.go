@@ -1,0 +1,108 @@
+package opt
+
+import "math"
+
+// ProjGradOptions configures projected gradient descent.
+type ProjGradOptions struct {
+	MaxIters int     // default 500
+	GTol     float64 // stop when the projected step norm falls below this; default 1e-9
+	Step0    float64 // initial step size; default 1 (scaled by backtracking)
+}
+
+func (o *ProjGradOptions) defaults() {
+	if o.MaxIters <= 0 {
+		o.MaxIters = 500
+	}
+	if o.GTol <= 0 {
+		o.GTol = 1e-9
+	}
+	if o.Step0 <= 0 {
+		o.Step0 = 1
+	}
+}
+
+// ProjectedGradient minimizes f over the box by gradient descent with
+// projection onto the box and Armijo backtracking. Gradients are numerical
+// (central differences). It is the workhorse for the smooth convex-ish
+// speed-allocation problems; Nelder–Mead covers the non-smooth cases.
+func ProjectedGradient(f Objective, box Box, x0 []float64, opts ProjGradOptions) Result {
+	opts.defaults()
+	evals := 0
+	eval := func(x []float64) float64 {
+		evals++
+		return f(x)
+	}
+
+	x := box.Project(append([]float64(nil), x0...))
+	fx := eval(x)
+	step := opts.Step0
+
+	iters := 0
+	converged := false
+	for ; iters < opts.MaxIters; iters++ {
+		g := Gradient(f, x)
+		evals += 2 * len(x)
+
+		// Scale the first step to the box so one step cannot jump across
+		// the entire feasible region.
+		if iters == 0 {
+			gn := norm2(g)
+			if gn > 0 {
+				maxW := 0.0
+				for i := range x {
+					if w := box.Width(i); w > maxW {
+						maxW = w
+					}
+				}
+				if maxW > 0 {
+					step = math.Min(step, 0.25*maxW/gn)
+				}
+			}
+		}
+
+		// Backtracking line search on the projected step.
+		improved := false
+		for bt := 0; bt < 40; bt++ {
+			trial := make([]float64, len(x))
+			for i := range x {
+				trial[i] = x[i] - step*g[i]
+			}
+			box.Project(trial)
+			ft := eval(trial)
+
+			// Armijo condition against the projected displacement.
+			var desc float64
+			for i := range x {
+				desc += g[i] * (x[i] - trial[i])
+			}
+			if ft <= fx-1e-4*desc && ft < fx {
+				// Accept; try growing the step next iteration.
+				var moved float64
+				for i := range x {
+					moved = math.Max(moved, math.Abs(trial[i]-x[i]))
+				}
+				x, fx = trial, ft
+				step *= 1.5
+				improved = true
+				if moved <= opts.GTol*(1+norm2(x)) {
+					converged = true
+				}
+				break
+			}
+			step /= 2
+			if step < 1e-18 {
+				break
+			}
+		}
+		if converged {
+			break
+		}
+		if !improved {
+			// No descent direction found: either at a stationary point or
+			// the gradient is unusable (e.g. infeasibility wall).
+			converged = true
+			break
+		}
+	}
+	return Result{X: x, F: fx, Iters: iters, Evals: evals, Converged: converged}
+}

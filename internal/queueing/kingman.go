@@ -1,0 +1,136 @@
+package queueing
+
+import (
+	"fmt"
+	"math"
+)
+
+// This file provides the G/G/1 and G/G/c approximations used for sanity
+// bounds around the exact formulas: Kingman's heavy-traffic approximation
+// and the Allen–Cunneen multi-server extension. They let callers reason
+// about non-Poisson arrivals (e.g. the diurnal profiles the dynamic power
+// management extension simulates) without leaving the analytical layer.
+
+// GG1Kingman returns Kingman's approximation of the mean waiting time in a
+// G/G/1 queue:
+//
+//	E[W] ≈ (ρ/(1−ρ)) · ((C_a² + C_s²)/2) · E[S]
+//
+// where C_a² and C_s² are the squared coefficients of variation of the
+// interarrival and service times. Exact in heavy traffic for M/G/1 (it
+// reduces to Pollaczek–Khinchine when C_a² = 1 and ρ → 1); an upper-bound
+// flavored approximation elsewhere. Returns +Inf when ρ ≥ 1.
+func GG1Kingman(lambda, ca2 float64, s ServiceDist) (float64, error) {
+	if lambda < 0 || ca2 < 0 {
+		return 0, fmt.Errorf("queueing: invalid G/G/1 parameters λ=%g Ca²=%g", lambda, ca2)
+	}
+	if s == nil || !(s.Mean() > 0) {
+		return 0, fmt.Errorf("queueing: invalid service distribution")
+	}
+	rho := lambda * s.Mean()
+	if rho >= 1 {
+		return math.Inf(1), nil
+	}
+	return rho / (1 - rho) * (ca2 + s.CV2()) / 2 * s.Mean(), nil
+}
+
+// GGcAllenCunneen returns the Allen–Cunneen approximation of the mean wait
+// in a G/G/c queue:
+//
+//	E[W] ≈ (C(c, a)/(cμ − λ)) · (C_a² + C_s²)/2
+//
+// i.e. the exact M/M/c wait scaled by the two-moment variability factor.
+func GGcAllenCunneen(lambda, ca2 float64, s ServiceDist, c int) (float64, error) {
+	if c < 1 {
+		return 0, fmt.Errorf("queueing: server count %d < 1", c)
+	}
+	if lambda < 0 || ca2 < 0 {
+		return 0, fmt.Errorf("queueing: invalid G/G/c parameters λ=%g Ca²=%g", lambda, ca2)
+	}
+	if s == nil || !(s.Mean() > 0) {
+		return 0, fmt.Errorf("queueing: invalid service distribution")
+	}
+	mu := 1 / s.Mean()
+	a := lambda / mu
+	if a >= float64(c) {
+		return math.Inf(1), nil
+	}
+	base := ErlangC(c, a) / (float64(c)*mu - lambda)
+	return base * (ca2 + s.CV2()) / 2, nil
+}
+
+// MMcK models the finite-buffer M/M/c/K queue (K ≥ c total places including
+// those in service): arrivals finding the system full are lost. It is the
+// loss-system view of a tier under admission control.
+type MMcK struct {
+	Lambda, Mu float64
+	C, K       int
+	probs      []float64 // steady-state p_0..p_K
+}
+
+// NewMMcK validates parameters and precomputes the steady-state distribution.
+func NewMMcK(lambda, mu float64, c, k int) (*MMcK, error) {
+	if lambda < 0 || mu <= 0 || c < 1 || k < c {
+		return nil, fmt.Errorf("queueing: invalid M/M/c/K parameters λ=%g μ=%g c=%d K=%d", lambda, mu, c, k)
+	}
+	q := &MMcK{Lambda: lambda, Mu: mu, C: c, K: k}
+	// Unnormalized terms computed iteratively for numerical stability.
+	terms := make([]float64, k+1)
+	terms[0] = 1
+	for n := 1; n <= k; n++ {
+		rate := float64(n)
+		if n > c {
+			rate = float64(c)
+		}
+		terms[n] = terms[n-1] * lambda / (rate * mu)
+	}
+	var sum float64
+	for _, t := range terms {
+		sum += t
+	}
+	q.probs = terms
+	for n := range q.probs {
+		q.probs[n] /= sum
+	}
+	return q, nil
+}
+
+// ProbN returns the steady-state probability of n customers in the system.
+func (q *MMcK) ProbN(n int) float64 {
+	if n < 0 || n > q.K {
+		return 0
+	}
+	return q.probs[n]
+}
+
+// BlockingProbability returns p_K, the fraction of arrivals lost.
+func (q *MMcK) BlockingProbability() float64 { return q.probs[q.K] }
+
+// Throughput returns the accepted arrival rate λ(1 − p_K).
+func (q *MMcK) Throughput() float64 {
+	return q.Lambda * (1 - q.BlockingProbability())
+}
+
+// MeanNumber returns E[N].
+func (q *MMcK) MeanNumber() float64 {
+	var e float64
+	for n, p := range q.probs {
+		e += float64(n) * p
+	}
+	return e
+}
+
+// MeanResponse returns the mean response time of ACCEPTED customers, by
+// Little's law over the effective arrival rate.
+func (q *MMcK) MeanResponse() float64 {
+	thr := q.Throughput()
+	if thr == 0 {
+		return math.NaN()
+	}
+	return q.MeanNumber() / thr
+}
+
+// Utilization returns the per-server utilization λ(1−p_K)/(cμ).
+func (q *MMcK) Utilization() float64 {
+	return q.Throughput() / (float64(q.C) * q.Mu)
+}

@@ -1,0 +1,197 @@
+package queueing
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestKingmanMatchesMM1InHeavyTraffic(t *testing.T) {
+	// For M/M/1 (Ca²=Cs²=1) Kingman IS the exact wait ρ/(1−ρ)·E[S].
+	for _, rho := range []float64{0.5, 0.8, 0.95} {
+		w, err := GG1Kingman(rho, 1, NewExponential(1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		mm1, _ := NewMM1(rho, 1)
+		if !almostEq(w, mm1.MeanWait(), 1e-12) {
+			t.Errorf("ρ=%g: Kingman %g vs exact %g", rho, w, mm1.MeanWait())
+		}
+	}
+}
+
+func TestKingmanMatchesPKForM_G_1(t *testing.T) {
+	// With Poisson arrivals (Ca²=1), Kingman reduces exactly to P-K for
+	// any service distribution: λE[S²]/(2(1−ρ)) = ρ/(1−ρ)·(1+Cs²)/2·E[S].
+	for _, cv2 := range []float64{0, 0.5, 1, 3} {
+		s := DistForCV2(1, cv2)
+		w, err := GG1Kingman(0.7, 1, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mg1, _ := NewMG1(0.7, s)
+		if !almostEq(w, mg1.MeanWait(), 1e-12) {
+			t.Errorf("cv²=%g: Kingman %g vs P-K %g", cv2, w, mg1.MeanWait())
+		}
+	}
+}
+
+func TestKingmanLowVariabilityReducesWait(t *testing.T) {
+	// Deterministic arrivals (Ca²=0) should halve the M/M/1 wait.
+	wDet, _ := GG1Kingman(0.8, 0, NewExponential(1))
+	wPois, _ := GG1Kingman(0.8, 1, NewExponential(1))
+	if !almostEq(wDet, wPois/2, 1e-12) {
+		t.Errorf("D/M/1-style wait %g should be half of %g", wDet, wPois)
+	}
+}
+
+func TestKingmanUnstableAndInvalid(t *testing.T) {
+	w, err := GG1Kingman(2, 1, NewExponential(1))
+	if err != nil || !math.IsInf(w, 1) {
+		t.Errorf("unstable: %g, %v", w, err)
+	}
+	if _, err := GG1Kingman(-1, 1, NewExponential(1)); err == nil {
+		t.Error("negative lambda accepted")
+	}
+	if _, err := GG1Kingman(1, -1, NewExponential(1)); err == nil {
+		t.Error("negative Ca² accepted")
+	}
+	if _, err := GG1Kingman(1, 1, nil); err == nil {
+		t.Error("nil service accepted")
+	}
+}
+
+func TestAllenCunneenReducesToMMc(t *testing.T) {
+	// Ca²=Cs²=1 gives exactly the M/M/c wait.
+	q, _ := NewMMc(2.4, 1, 3)
+	w, err := GGcAllenCunneen(2.4, 1, NewExponential(1), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(w, q.MeanWait(), 1e-12) {
+		t.Errorf("AC %g vs M/M/c %g", w, q.MeanWait())
+	}
+	// c=1 must agree with Kingman.
+	w1, _ := GGcAllenCunneen(0.7, 0.5, NewErlang(1, 2), 1)
+	wk, _ := GG1Kingman(0.7, 0.5, NewErlang(1, 2))
+	if !almostEq(w1, wk, 1e-12) {
+		t.Errorf("AC c=1 %g vs Kingman %g", w1, wk)
+	}
+}
+
+func TestAllenCunneenSaturation(t *testing.T) {
+	w, err := GGcAllenCunneen(5, 1, NewExponential(1), 3)
+	if err != nil || !math.IsInf(w, 1) {
+		t.Errorf("saturated: %g, %v", w, err)
+	}
+	if _, err := GGcAllenCunneen(1, 1, NewExponential(1), 0); err == nil {
+		t.Error("zero servers accepted")
+	}
+}
+
+func TestMMcKDistributionSumsToOne(t *testing.T) {
+	q, err := NewMMcK(3, 1, 2, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	for n := 0; n <= 10; n++ {
+		sum += q.ProbN(n)
+	}
+	if !almostEq(sum, 1, 1e-12) {
+		t.Errorf("probabilities sum to %g", sum)
+	}
+	if q.ProbN(-1) != 0 || q.ProbN(11) != 0 {
+		t.Error("out-of-range probabilities nonzero")
+	}
+}
+
+func TestMMcKReducesToErlangB(t *testing.T) {
+	// K = c is the pure loss system: blocking = Erlang-B.
+	for _, a := range []float64{0.5, 2, 5} {
+		for _, c := range []int{1, 3, 6} {
+			q, err := NewMMcK(a, 1, c, c)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !almostEq(q.BlockingProbability(), ErlangB(c, a), 1e-12) {
+				t.Errorf("c=%d a=%g: blocking %g vs Erlang-B %g",
+					c, a, q.BlockingProbability(), ErlangB(c, a))
+			}
+		}
+	}
+}
+
+func TestMMcKApproachesMMcAsKGrows(t *testing.T) {
+	// Large buffer: response of accepted jobs ≈ M/M/c response.
+	q, err := NewMMcK(2.4, 1, 3, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mmc, _ := NewMMc(2.4, 1, 3)
+	if !almostEq(q.MeanResponse(), mmc.MeanResponse(), 1e-6) {
+		t.Errorf("large-K response %g vs M/M/c %g", q.MeanResponse(), mmc.MeanResponse())
+	}
+	if q.BlockingProbability() > 1e-9 {
+		t.Errorf("large-K blocking %g", q.BlockingProbability())
+	}
+}
+
+func TestMMcKOverloadedStillFinite(t *testing.T) {
+	// The finite buffer keeps everything finite even at λ >> cμ.
+	q, err := NewMMcK(50, 1, 2, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(q.BlockingProbability() > 0.9) {
+		t.Errorf("overloaded blocking = %g", q.BlockingProbability())
+	}
+	if !(q.Throughput() < 2.001) {
+		t.Errorf("throughput %g exceeds capacity", q.Throughput())
+	}
+	if math.IsNaN(q.MeanResponse()) || math.IsInf(q.MeanResponse(), 0) {
+		t.Errorf("response %g", q.MeanResponse())
+	}
+	if u := q.Utilization(); u < 0.97 || u > 1 {
+		t.Errorf("overloaded utilization = %g", u)
+	}
+}
+
+func TestMMcKBlockingMonotoneInBuffer(t *testing.T) {
+	f := func(raw float64) bool {
+		lam := 0.5 + math.Mod(math.Abs(raw), 6)
+		if math.IsNaN(lam) {
+			return true
+		}
+		prev := 1.1
+		for k := 2; k <= 20; k += 3 {
+			q, err := NewMMcK(lam, 1, 2, k)
+			if err != nil {
+				return false
+			}
+			b := q.BlockingProbability()
+			if b > prev+1e-12 { // more buffer, less loss
+				return false
+			}
+			prev = b
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMMcKInvalidParams(t *testing.T) {
+	cases := []struct {
+		lam, mu float64
+		c, k    int
+	}{
+		{-1, 1, 1, 1}, {1, 0, 1, 1}, {1, 1, 0, 1}, {1, 1, 3, 2},
+	}
+	for _, cse := range cases {
+		if _, err := NewMMcK(cse.lam, cse.mu, cse.c, cse.k); err == nil {
+			t.Errorf("accepted %+v", cse)
+		}
+	}
+}

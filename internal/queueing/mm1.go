@@ -1,0 +1,126 @@
+package queueing
+
+import (
+	"fmt"
+	"math"
+)
+
+// MM1 holds the closed-form metrics of an M/M/1 queue with arrival rate
+// Lambda and service rate Mu.
+type MM1 struct {
+	Lambda, Mu float64
+}
+
+// NewMM1 validates the parameters and returns the queue descriptor.
+func NewMM1(lambda, mu float64) (MM1, error) {
+	if lambda < 0 || mu <= 0 {
+		return MM1{}, fmt.Errorf("queueing: invalid M/M/1 parameters λ=%g μ=%g", lambda, mu)
+	}
+	return MM1{Lambda: lambda, Mu: mu}, nil
+}
+
+// Rho returns the utilization λ/μ.
+func (q MM1) Rho() float64 { return q.Lambda / q.Mu }
+
+// Stable reports whether the queue has a steady state (ρ < 1).
+func (q MM1) Stable() bool { return q.Rho() < 1 }
+
+// MeanResponse returns E[T] = 1/(μ−λ), or +Inf when unstable.
+func (q MM1) MeanResponse() float64 {
+	if !q.Stable() {
+		return math.Inf(1)
+	}
+	return 1 / (q.Mu - q.Lambda)
+}
+
+// MeanWait returns E[W] = ρ/(μ−λ), or +Inf when unstable.
+func (q MM1) MeanWait() float64 {
+	if !q.Stable() {
+		return math.Inf(1)
+	}
+	return q.Rho() / (q.Mu - q.Lambda)
+}
+
+// MeanNumber returns E[N] = ρ/(1−ρ) via Little's law.
+func (q MM1) MeanNumber() float64 {
+	if !q.Stable() {
+		return math.Inf(1)
+	}
+	rho := q.Rho()
+	return rho / (1 - rho)
+}
+
+// ResponseQuantile returns the p-quantile of the response time, which is
+// exponential with rate μ−λ: t_p = −ln(1−p)/(μ−λ).
+func (q MM1) ResponseQuantile(p float64) float64 {
+	if !q.Stable() {
+		return math.Inf(1)
+	}
+	if p <= 0 {
+		return 0
+	}
+	if p >= 1 {
+		return math.Inf(1)
+	}
+	return -math.Log(1-p) / (q.Mu - q.Lambda)
+}
+
+// ProbN returns the steady-state probability of n customers in system,
+// (1−ρ)ρⁿ.
+func (q MM1) ProbN(n int) float64 {
+	if !q.Stable() || n < 0 {
+		return 0
+	}
+	rho := q.Rho()
+	return (1 - rho) * math.Pow(rho, float64(n))
+}
+
+// MG1 holds the Pollaczek–Khinchine metrics of an M/G/1 queue.
+type MG1 struct {
+	Lambda  float64
+	Service ServiceDist
+}
+
+// NewMG1 validates and returns an M/G/1 descriptor.
+func NewMG1(lambda float64, s ServiceDist) (MG1, error) {
+	if lambda < 0 {
+		return MG1{}, fmt.Errorf("queueing: negative arrival rate %g", lambda)
+	}
+	if s == nil || !(s.Mean() > 0) {
+		return MG1{}, fmt.Errorf("queueing: invalid service distribution %v", s)
+	}
+	return MG1{Lambda: lambda, Service: s}, nil
+}
+
+// Rho returns the utilization λE[S].
+func (q MG1) Rho() float64 { return q.Lambda * q.Service.Mean() }
+
+// Stable reports whether ρ < 1.
+func (q MG1) Stable() bool { return q.Rho() < 1 }
+
+// MeanWait returns the Pollaczek–Khinchine mean waiting time
+// λE[S²] / (2(1−ρ)), or +Inf when unstable.
+func (q MG1) MeanWait() float64 {
+	if !q.Stable() {
+		return math.Inf(1)
+	}
+	return q.Lambda * q.Service.SecondMoment() / (2 * (1 - q.Rho()))
+}
+
+// MeanResponse returns E[T] = E[W] + E[S].
+func (q MG1) MeanResponse() float64 {
+	w := q.MeanWait()
+	if math.IsInf(w, 1) {
+		return w
+	}
+	return w + q.Service.Mean()
+}
+
+// MeanNumber returns E[N] = λE[T] by Little's law.
+func (q MG1) MeanNumber() float64 {
+	t := q.MeanResponse()
+	if math.IsInf(t, 1) {
+		return t
+	}
+	return q.Lambda * t
+}

@@ -1,0 +1,237 @@
+package queueing
+
+import (
+	"fmt"
+	"math"
+)
+
+// Network is a feed-forward network of stations. Every class k has a Route —
+// the ordered list of station indices its requests visit. The canonical
+// enterprise-application instance is the tandem route 0→1→…→J−1 for every
+// class (use TandemRoutes). Per-class arrival processes are Poisson at the
+// network entrance; downstream arrival processes are approximated as Poisson
+// with the same rate (exact under product form, an approximation under
+// priority scheduling — quantified by the simulator).
+type Network struct {
+	Stations []*Station
+	Routes   [][]int
+	// Routings optionally replaces a class's deterministic route with a
+	// probabilistic (Markov) chain: a non-nil Routings[k] takes precedence
+	// over Routes[k]. Length must equal the class count when set.
+	Routings []*ClassRouting
+}
+
+// TandemRoutes returns routes sending each of k classes through stations
+// 0..j−1 in order.
+func TandemRoutes(k, j int) [][]int {
+	routes := make([][]int, k)
+	for i := range routes {
+		r := make([]int, j)
+		for s := range r {
+			r[s] = s
+		}
+		routes[i] = r
+	}
+	return routes
+}
+
+// Validate checks structural consistency: station demand vectors sized to the
+// class count, routes referencing existing stations, routing chains
+// stochastic and transient.
+func (n *Network) Validate() error {
+	if len(n.Stations) == 0 {
+		return fmt.Errorf("queueing: network has no stations")
+	}
+	if len(n.Routes) == 0 {
+		return fmt.Errorf("queueing: network has no classes/routes")
+	}
+	k := len(n.Routes)
+	if n.Routings != nil && len(n.Routings) != k {
+		return fmt.Errorf("queueing: %d routings for %d classes", len(n.Routings), k)
+	}
+	for _, s := range n.Stations {
+		if err := s.Validate(k); err != nil {
+			return err
+		}
+	}
+	for c, route := range n.Routes {
+		if n.routing(c) != nil {
+			if err := n.routing(c).Validate(len(n.Stations)); err != nil {
+				return fmt.Errorf("class %d: %w", c, err)
+			}
+			continue
+		}
+		if len(route) == 0 {
+			return fmt.Errorf("queueing: class %d has an empty route", c)
+		}
+		for _, j := range route {
+			if j < 0 || j >= len(n.Stations) {
+				return fmt.Errorf("queueing: class %d route references station %d of %d", c, j, len(n.Stations))
+			}
+		}
+	}
+	return nil
+}
+
+// NumClasses returns the number of customer classes.
+func (n *Network) NumClasses() int { return len(n.Routes) }
+
+// routing returns class k's probabilistic chain, or nil when it follows its
+// deterministic route.
+func (n *Network) routing(k int) *ClassRouting {
+	if n.Routings == nil || k >= len(n.Routings) {
+		return nil
+	}
+	return n.Routings[k]
+}
+
+// VisitRates returns the expected number of visits class k makes to each
+// station: occurrence counts for deterministic routes, the traffic-equation
+// solution for probabilistic routings.
+func (n *Network) VisitRates(k int) ([]float64, error) {
+	if r := n.routing(k); r != nil {
+		return r.VisitRates()
+	}
+	v := make([]float64, len(n.Stations))
+	for _, j := range n.Routes[k] {
+		v[j]++
+	}
+	return v, nil
+}
+
+// arrivalAt returns the per-class arrival-rate vector seen by station j given
+// the external per-class rates: λ_k times the expected visits of class k to
+// station j.
+func (n *Network) arrivalAt(j int, lambda []float64) []float64 {
+	at := make([]float64, len(lambda))
+	for k := range n.Routes {
+		v, err := n.VisitRates(k)
+		if err != nil {
+			continue // surfaced by Validate; keep arrivals conservative here
+		}
+		at[k] = lambda[k] * v[j]
+	}
+	return at
+}
+
+// DelayBreakdown holds the per-class, per-station mean response times plus
+// end-to-end totals.
+type DelayBreakdown struct {
+	// PerStation[k][j] is the mean response time class k spends at its
+	// route position visiting station j (0 for stations not visited).
+	PerStation [][]float64
+	// Wait[k][j] is the waiting component of PerStation.
+	Wait [][]float64
+	// EndToEnd[k] is the sum along class k's route.
+	EndToEnd []float64
+}
+
+// EndToEndDelays computes per-class mean end-to-end response times under the
+// given external arrival rates. A class whose route crosses any unstable
+// station gets +Inf.
+func (n *Network) EndToEndDelays(lambda []float64) (*DelayBreakdown, error) {
+	if len(lambda) != n.NumClasses() {
+		return nil, fmt.Errorf("queueing: %d arrival rates for %d classes", len(lambda), n.NumClasses())
+	}
+	k := n.NumClasses()
+	bd := &DelayBreakdown{
+		PerStation: make([][]float64, k),
+		Wait:       make([][]float64, k),
+		EndToEnd:   make([]float64, k),
+	}
+	for c := 0; c < k; c++ {
+		bd.PerStation[c] = make([]float64, len(n.Stations))
+		bd.Wait[c] = make([]float64, len(n.Stations))
+	}
+	for j, s := range n.Stations {
+		at := n.arrivalAt(j, lambda)
+		wait, resp, err := s.ResponseTimes(at)
+		if err != nil {
+			return nil, fmt.Errorf("station %d (%s): %w", j, s.Name, err)
+		}
+		for c := 0; c < k; c++ {
+			bd.PerStation[c][j] = resp[c]
+			bd.Wait[c][j] = wait[c]
+		}
+	}
+	for c := range n.Routes {
+		v, err := n.VisitRates(c)
+		if err != nil {
+			return nil, fmt.Errorf("class %d: %w", c, err)
+		}
+		var sum float64
+		for j, visits := range v {
+			if visits > 0 {
+				sum += visits * bd.PerStation[c][j]
+			}
+		}
+		bd.EndToEnd[c] = sum
+	}
+	return bd, nil
+}
+
+// Stable reports whether every station is stable under the given external
+// arrival rates.
+func (n *Network) Stable(lambda []float64) bool {
+	for j, s := range n.Stations {
+		if s.Utilization(n.arrivalAt(j, lambda)) >= 1 {
+			return false
+		}
+	}
+	return true
+}
+
+// BottleneckUtilization returns the maximum per-server utilization across
+// stations and the index of the bottleneck station.
+func (n *Network) BottleneckUtilization(lambda []float64) (float64, int) {
+	best, idx := math.Inf(-1), -1
+	for j, s := range n.Stations {
+		if u := s.Utilization(n.arrivalAt(j, lambda)); u > best {
+			best, idx = u, j
+		}
+	}
+	return best, idx
+}
+
+// Clone returns a deep copy of the network (stations, routes, routings).
+func (n *Network) Clone() *Network {
+	c := &Network{
+		Stations: make([]*Station, len(n.Stations)),
+		Routes:   make([][]int, len(n.Routes)),
+	}
+	for i, s := range n.Stations {
+		c.Stations[i] = s.Clone()
+	}
+	for i, r := range n.Routes {
+		c.Routes[i] = append([]int(nil), r...)
+	}
+	if n.Routings != nil {
+		c.Routings = make([]*ClassRouting, len(n.Routings))
+		for i, r := range n.Routings {
+			if r == nil {
+				continue
+			}
+			nr := &ClassRouting{Entry: append([]float64(nil), r.Entry...)}
+			for _, row := range r.Next {
+				nr.Next = append(nr.Next, append([]float64(nil), row...))
+			}
+			c.Routings[i] = nr
+		}
+	}
+	return c
+}
+
+// MeanDelayAllClasses returns the arrival-rate-weighted average of the
+// per-class end-to-end delays — the "all class" objective of the paper's
+// aggregate formulations.
+func MeanDelayAllClasses(delays, lambda []float64) float64 {
+	var num, den float64
+	for k := range delays {
+		num += lambda[k] * delays[k]
+		den += lambda[k]
+	}
+	if den == 0 {
+		return math.NaN()
+	}
+	return num / den
+}

@@ -1,0 +1,231 @@
+package queueing
+
+import (
+	"math"
+	"testing"
+)
+
+func threeTier(k int, speed float64) *Network {
+	demands := make([]Demand, k)
+	for i := range demands {
+		demands[i] = Demand{Work: 1, CV2: 1}
+	}
+	mk := func(name string) *Station {
+		return &Station{
+			Name: name, Servers: 1, Speed: speed,
+			Discipline: NonPreemptive,
+			Demands:    append([]Demand(nil), demands...),
+		}
+	}
+	return &Network{
+		Stations: []*Station{mk("web"), mk("app"), mk("db")},
+		Routes:   TandemRoutes(k, 3),
+	}
+}
+
+func TestNetworkValidate(t *testing.T) {
+	n := threeTier(2, 4)
+	if err := n.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := threeTier(2, 4)
+	bad.Routes[0] = []int{5}
+	if err := bad.Validate(); err == nil {
+		t.Error("out-of-range route accepted")
+	}
+	empty := &Network{}
+	if err := empty.Validate(); err == nil {
+		t.Error("empty network accepted")
+	}
+	noRoute := threeTier(2, 4)
+	noRoute.Routes[1] = nil
+	if err := noRoute.Validate(); err == nil {
+		t.Error("empty route accepted")
+	}
+	mismatch := threeTier(2, 4)
+	mismatch.Stations[0].Demands = mismatch.Stations[0].Demands[:1]
+	if err := mismatch.Validate(); err == nil {
+		t.Error("demand/class mismatch accepted")
+	}
+}
+
+func TestTandemSingleClassMatchesSumOfMM1(t *testing.T) {
+	// One class, three identical exponential tiers: with the Poisson
+	// approximation the end-to-end delay is 3 × M/M/1 response (this is
+	// exact for FCFS tandem by Burke's theorem).
+	n := threeTier(1, 2) // μ = speed/work = 2
+	lambda := []float64{1.2}
+	bd, err := n.EndToEndDelays(lambda)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mm1, _ := NewMM1(1.2, 2)
+	want := 3 * mm1.MeanResponse()
+	if !almostEq(bd.EndToEnd[0], want, 1e-12) {
+		t.Errorf("end-to-end = %g, want %g", bd.EndToEnd[0], want)
+	}
+	for j := 0; j < 3; j++ {
+		if !almostEq(bd.PerStation[0][j], mm1.MeanResponse(), 1e-12) {
+			t.Errorf("station %d response = %g", j, bd.PerStation[0][j])
+		}
+		if !almostEq(bd.Wait[0][j], mm1.MeanWait(), 1e-12) {
+			t.Errorf("station %d wait = %g", j, bd.Wait[0][j])
+		}
+	}
+}
+
+func TestNetworkPriorityOrdering(t *testing.T) {
+	n := threeTier(3, 4)
+	lambda := []float64{0.8, 0.8, 0.8}
+	bd, err := n.EndToEndDelays(lambda)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(bd.EndToEnd[0] < bd.EndToEnd[1] && bd.EndToEnd[1] < bd.EndToEnd[2]) {
+		t.Errorf("end-to-end delays not ordered by priority: %v", bd.EndToEnd)
+	}
+}
+
+func TestNetworkPartialRoute(t *testing.T) {
+	// Class 1 skips the db tier; its delay must be smaller than the full
+	// route at the same load, and the db tier must not see its traffic.
+	n := threeTier(2, 4)
+	n.Routes[1] = []int{0, 1}
+	lambda := []float64{0.5, 0.5}
+	if err := n.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bd, err := n.EndToEndDelays(lambda)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(bd.EndToEnd[1] < bd.EndToEnd[0]) {
+		t.Errorf("shorter route should be faster: %v", bd.EndToEnd)
+	}
+	// db tier (index 2) sees only class 0.
+	at := n.arrivalAt(2, lambda)
+	if at[0] != 0.5 || at[1] != 0 {
+		t.Errorf("db arrivals = %v", at)
+	}
+}
+
+func TestNetworkRevisits(t *testing.T) {
+	// A route visiting station 0 twice doubles that station's load.
+	n := threeTier(1, 4)
+	n.Routes[0] = []int{0, 1, 0}
+	lambda := []float64{0.5}
+	at := n.arrivalAt(0, lambda)
+	if at[0] != 1.0 {
+		t.Errorf("revisited station load = %g, want 1", at[0])
+	}
+	bd, err := n.EndToEndDelays(lambda)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// End-to-end contains station 0's response twice.
+	want := 2*bd.PerStation[0][0] + bd.PerStation[0][1]
+	if !almostEq(bd.EndToEnd[0], want, 1e-12) {
+		t.Errorf("end-to-end = %g, want %g", bd.EndToEnd[0], want)
+	}
+}
+
+func TestNetworkStabilityAndBottleneck(t *testing.T) {
+	n := threeTier(1, 2)
+	n.Stations[1].Speed = 1 // app tier slowest → bottleneck
+	if !n.Stable([]float64{0.9}) {
+		t.Error("should be stable at λ=0.9")
+	}
+	if n.Stable([]float64{1.1}) {
+		t.Error("should be unstable at λ=1.1")
+	}
+	u, idx := n.BottleneckUtilization([]float64{0.9})
+	if idx != 1 {
+		t.Errorf("bottleneck index = %d, want 1", idx)
+	}
+	if !almostEq(u, 0.9, 1e-12) {
+		t.Errorf("bottleneck util = %g", u)
+	}
+}
+
+func TestNetworkUnstableStationPropagates(t *testing.T) {
+	n := threeTier(2, 1)
+	bd, err := n.EndToEndDelays([]float64{0.6, 0.6}) // σ = 1.2 > 1
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(bd.EndToEnd[1], 1) {
+		t.Error("low class should have infinite delay through saturated tiers")
+	}
+	if math.IsInf(bd.EndToEnd[0], 1) {
+		t.Error("high class should stay finite (σ1 = 0.6 < 1)")
+	}
+}
+
+func TestNetworkWrongLambdaCount(t *testing.T) {
+	n := threeTier(2, 4)
+	if _, err := n.EndToEndDelays([]float64{1}); err == nil {
+		t.Error("wrong arrival vector length accepted")
+	}
+}
+
+func TestNetworkClone(t *testing.T) {
+	n := threeTier(2, 4)
+	c := n.Clone()
+	c.Stations[0].Speed = 99
+	c.Routes[0][0] = 2
+	c.Stations[1].Demands[0].Work = 77
+	if n.Stations[0].Speed == 99 || n.Routes[0][0] == 2 || n.Stations[1].Demands[0].Work == 77 {
+		t.Error("clone shares state with original")
+	}
+}
+
+func TestMeanDelayAllClasses(t *testing.T) {
+	d := []float64{1, 3}
+	l := []float64{2, 1}
+	// (2·1 + 1·3)/3 = 5/3.
+	if got := MeanDelayAllClasses(d, l); !almostEq(got, 5.0/3, 1e-12) {
+		t.Errorf("weighted delay = %g", got)
+	}
+	if !math.IsNaN(MeanDelayAllClasses(d, []float64{0, 0})) {
+		t.Error("zero traffic should be NaN")
+	}
+}
+
+func TestStationHelpers(t *testing.T) {
+	s := &Station{Name: "x", Servers: 2, Speed: 4, Discipline: NonPreemptive,
+		Demands: []Demand{{Work: 1, CV2: 1}, {Work: 2, CV2: 0.5}}}
+	if err := s.Validate(2); err != nil {
+		t.Fatal(err)
+	}
+	// Class 1: mean 2/4 = 0.5, CV² 0.5 → Erlang-2.
+	d := s.ServiceDistFor(1)
+	if !almostEq(d.Mean(), 0.5, 1e-12) || !almostEq(d.CV2(), 0.5, 1e-12) {
+		t.Errorf("service dist: %v", d)
+	}
+	lam := []float64{1, 1}
+	// ρ = (1·0.25 + 1·0.5)/2 = 0.375.
+	if got := s.Utilization(lam); !almostEq(got, 0.375, 1e-12) {
+		t.Errorf("util = %g", got)
+	}
+	// Min speed: (1·1 + 1·2)/2 = 1.5 work-units/s.
+	if got := s.MinSpeedForStability(lam); !almostEq(got, 1.5, 1e-12) {
+		t.Errorf("min speed = %g", got)
+	}
+	if err := s.Validate(3); err == nil {
+		t.Error("class mismatch accepted")
+	}
+}
+
+func TestStationValidateErrors(t *testing.T) {
+	cases := []*Station{
+		{Name: "a", Servers: 0, Speed: 1, Demands: []Demand{{Work: 1}}},
+		{Name: "b", Servers: 1, Speed: 0, Demands: []Demand{{Work: 1}}},
+		{Name: "c", Servers: 1, Speed: 1, Demands: []Demand{{Work: 0}}},
+		{Name: "d", Servers: 1, Speed: 1, Demands: []Demand{{Work: 1, CV2: -1}}},
+	}
+	for _, s := range cases {
+		if err := s.Validate(1); err == nil {
+			t.Errorf("station %q: invalid config accepted", s.Name)
+		}
+	}
+}

@@ -1,0 +1,145 @@
+package queueing
+
+import (
+	"fmt"
+	"math"
+)
+
+// This file models the sleep-state power management alternative to DVFS: a
+// server that powers off whenever it idles ("instant-off") and pays a setup
+// time to wake for the first customer of each busy period. Delay follows
+// Welch's M/G/1-with-setup result; the busy/setup/sleep time fractions follow
+// from renewal (cycle) analysis and drive the energy accounting.
+
+// MG1Setup is an M/G/1 queue whose server sleeps when idle and requires a
+// Setup period before serving the first customer of each busy period.
+type MG1Setup struct {
+	Lambda  float64
+	Service ServiceDist
+	Setup   ServiceDist
+}
+
+// NewMG1Setup validates and returns the descriptor.
+func NewMG1Setup(lambda float64, service, setup ServiceDist) (MG1Setup, error) {
+	if lambda < 0 {
+		return MG1Setup{}, fmt.Errorf("queueing: negative arrival rate %g", lambda)
+	}
+	if service == nil || !(service.Mean() > 0) {
+		return MG1Setup{}, fmt.Errorf("queueing: invalid service distribution")
+	}
+	if setup == nil || !(setup.Mean() > 0) {
+		return MG1Setup{}, fmt.Errorf("queueing: invalid setup distribution")
+	}
+	return MG1Setup{Lambda: lambda, Service: service, Setup: setup}, nil
+}
+
+// Rho returns the serving utilization λE[X] (setup time excluded).
+func (q MG1Setup) Rho() float64 { return q.Lambda * q.Service.Mean() }
+
+// Stable reports whether ρ < 1 (setup does not consume capacity in the
+// instant-off model: it only delays, because it happens while work waits).
+func (q MG1Setup) Stable() bool { return q.Rho() < 1 }
+
+// MeanWait returns Welch's mean waiting time for M/G/1 with setup:
+//
+//	E[W] = λE[X²]/(2(1−ρ)) + (2E[S] + λE[S²]) / (2(1 + λE[S]))
+//
+// — the plain P–K wait plus the setup penalty. For exponential setup with
+// mean 1/α the penalty reduces to exactly 1/α.
+func (q MG1Setup) MeanWait() float64 {
+	if !q.Stable() {
+		return math.Inf(1)
+	}
+	pk := q.Lambda * q.Service.SecondMoment() / (2 * (1 - q.Rho()))
+	es := q.Setup.Mean()
+	penalty := (2*es + q.Lambda*q.Setup.SecondMoment()) / (2 * (1 + q.Lambda*es))
+	return pk + penalty
+}
+
+// MeanResponse returns E[T] = E[W] + E[X].
+func (q MG1Setup) MeanResponse() float64 {
+	w := q.MeanWait()
+	if math.IsInf(w, 1) {
+		return w
+	}
+	return w + q.Service.Mean()
+}
+
+// SetupPenalty returns the extra mean wait the sleep policy costs compared
+// with an always-on M/G/1.
+func (q MG1Setup) SetupPenalty() float64 {
+	if !q.Stable() {
+		return math.Inf(1)
+	}
+	plain, _ := NewMG1(q.Lambda, q.Service)
+	return q.MeanWait() - plain.MeanWait()
+}
+
+// StateFractions is the long-run split of a sleeping server's time.
+type StateFractions struct {
+	Serving float64 // actively processing work (= ρ)
+	Setup   float64 // warming up
+	Sleep   float64 // powered down
+}
+
+// Fractions returns the long-run state fractions from cycle analysis: a
+// cycle is sleep (mean 1/λ, memoryless arrivals) + setup (mean E[S]) + the
+// busy period; work conservation fixes serving time at ρ of all time, so
+//
+//	E[cycle] = (1/λ + E[S]) / (1 − ρ),
+//	f_sleep  = (1−ρ) / (1 + λE[S]),
+//	f_setup  = (1−ρ)·λE[S] / (1 + λE[S]).
+func (q MG1Setup) Fractions() StateFractions {
+	rho := q.Rho()
+	if rho >= 1 {
+		return StateFractions{Serving: 1}
+	}
+	if q.Lambda == 0 {
+		return StateFractions{Sleep: 1}
+	}
+	les := q.Lambda * q.Setup.Mean()
+	return StateFractions{
+		Serving: rho,
+		Setup:   (1 - rho) * les / (1 + les),
+		Sleep:   (1 - rho) / (1 + les),
+	}
+}
+
+// SleepAveragePower returns the long-run power of an instant-off server:
+// busy power while serving, setup power while warming up (typically the busy
+// level), sleep power while down.
+func (q MG1Setup) SleepAveragePower(busyW, setupW, sleepW float64) float64 {
+	f := q.Fractions()
+	return f.Serving*busyW + f.Setup*setupW + f.Sleep*sleepW
+}
+
+// SleepBreakEvenLoad returns the approximate load ρ* below which instant-off
+// saves power over always-on for the given power levels, found by bisection
+// on the power difference (always-on draws idleW when not serving). Returns
+// 0 if sleeping never wins and 1 if it always wins on (0, 1).
+func SleepBreakEvenLoad(service, setup ServiceDist, busyW, setupW, sleepW, idleW float64) float64 {
+	diff := func(rho float64) float64 {
+		lambda := rho / service.Mean()
+		q := MG1Setup{Lambda: lambda, Service: service, Setup: setup}
+		alwaysOn := rho*busyW + (1-rho)*idleW
+		return q.SleepAveragePower(busyW, setupW, sleepW) - alwaysOn
+	}
+	const lo, hi = 1e-6, 1 - 1e-6
+	dLo, dHi := diff(lo), diff(hi)
+	if dLo >= 0 && dHi >= 0 {
+		return 0
+	}
+	if dLo < 0 && dHi < 0 {
+		return 1
+	}
+	a, b := lo, hi
+	for i := 0; i < 100 && b-a > 1e-9; i++ {
+		mid := (a + b) / 2
+		if (diff(mid) < 0) == (dLo < 0) {
+			a = mid
+		} else {
+			b = mid
+		}
+	}
+	return (a + b) / 2
+}

@@ -1,0 +1,146 @@
+package queueing
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestMG1SetupExponentialPenaltyIsMeanSetup(t *testing.T) {
+	// Gandhi/Harchol-Balter decomposition: exponential setup with mean
+	// 1/α adds exactly 1/α to the M/M/1 wait.
+	for _, lam := range []float64{0.2, 0.5, 0.8} {
+		for _, setupMean := range []float64{0.5, 2, 10} {
+			q, err := NewMG1Setup(lam, NewExponential(1), NewExponential(setupMean))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := q.SetupPenalty(); !almostEq(got, setupMean, 1e-12) {
+				t.Errorf("λ=%g setup=%g: penalty %g", lam, setupMean, got)
+			}
+		}
+	}
+}
+
+func TestMG1SetupReducesToPKWithTinySetup(t *testing.T) {
+	q, err := NewMG1Setup(0.6, NewErlang(1, 2), NewDeterministic(1e-9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, _ := NewMG1(0.6, NewErlang(1, 2))
+	if !almostEq(q.MeanWait(), plain.MeanWait(), 1e-6) {
+		t.Errorf("vanishing setup: %g vs %g", q.MeanWait(), plain.MeanWait())
+	}
+}
+
+func TestMG1SetupDeterministicSetup(t *testing.T) {
+	// Deterministic setup of length s: penalty = (2s + λs²)/(2(1+λs)).
+	lam, s := 0.5, 4.0
+	q, _ := NewMG1Setup(lam, NewExponential(1), NewDeterministic(s))
+	want := (2*s + lam*s*s) / (2 * (1 + lam*s))
+	if got := q.SetupPenalty(); !almostEq(got, want, 1e-12) {
+		t.Errorf("penalty %g, want %g", got, want)
+	}
+	if got := q.MeanResponse(); !almostEq(got, q.MeanWait()+1, 1e-12) {
+		t.Errorf("response %g", got)
+	}
+}
+
+func TestMG1SetupUnstable(t *testing.T) {
+	q, _ := NewMG1Setup(2, NewExponential(1), NewExponential(1))
+	if q.Stable() || !math.IsInf(q.MeanWait(), 1) || !math.IsInf(q.SetupPenalty(), 1) {
+		t.Error("unstable queue should report +Inf")
+	}
+	f := q.Fractions()
+	if f.Serving != 1 {
+		t.Errorf("saturated fractions: %+v", f)
+	}
+}
+
+func TestMG1SetupValidation(t *testing.T) {
+	if _, err := NewMG1Setup(-1, NewExponential(1), NewExponential(1)); err == nil {
+		t.Error("negative lambda accepted")
+	}
+	if _, err := NewMG1Setup(1, nil, NewExponential(1)); err == nil {
+		t.Error("nil service accepted")
+	}
+	if _, err := NewMG1Setup(1, NewExponential(1), nil); err == nil {
+		t.Error("nil setup accepted")
+	}
+}
+
+func TestFractionsSumToOne(t *testing.T) {
+	f := func(l, s float64) bool {
+		lam := 0.05 + math.Mod(math.Abs(l), 0.9)
+		setup := 0.1 + math.Mod(math.Abs(s), 20)
+		if math.IsNaN(lam + setup) {
+			return true
+		}
+		q, err := NewMG1Setup(lam, NewExponential(1), NewExponential(setup))
+		if err != nil {
+			return false
+		}
+		fr := q.Fractions()
+		if fr.Serving < 0 || fr.Setup < 0 || fr.Sleep < 0 {
+			return false
+		}
+		if !almostEq(fr.Serving+fr.Setup+fr.Sleep, 1, 1e-9) {
+			return false
+		}
+		// Serving fraction is exactly ρ (work conservation).
+		return almostEq(fr.Serving, lam, 1e-12)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFractionsZeroTraffic(t *testing.T) {
+	q, _ := NewMG1Setup(0, NewExponential(1), NewExponential(1))
+	f := q.Fractions()
+	if f.Sleep != 1 || f.Serving != 0 || f.Setup != 0 {
+		t.Errorf("idle system fractions: %+v", f)
+	}
+}
+
+func TestSleepAveragePower(t *testing.T) {
+	q, _ := NewMG1Setup(0.5, NewExponential(1), NewExponential(2))
+	f := q.Fractions()
+	got := q.SleepAveragePower(200, 200, 10)
+	want := f.Serving*200 + f.Setup*200 + f.Sleep*10
+	if !almostEq(got, want, 1e-12) {
+		t.Errorf("power %g, want %g", got, want)
+	}
+}
+
+func TestSleepBreakEven(t *testing.T) {
+	service := NewExponential(1)
+	setup := NewExponential(1)
+	// Deep sleep (10 W) against a high idle floor (100 W): sleeping wins
+	// at low load; the break-even sits strictly inside (0, 1).
+	be := SleepBreakEvenLoad(service, setup, 200, 200, 10, 100)
+	if !(be > 0.05 && be < 0.95) {
+		t.Fatalf("break-even = %g", be)
+	}
+	// Below break-even sleeping is cheaper; above it is not.
+	check := func(rho float64, wantSleepCheaper bool) {
+		q, _ := NewMG1Setup(rho, service, setup)
+		sleepP := q.SleepAveragePower(200, 200, 10)
+		onP := rho*200 + (1-rho)*100
+		if (sleepP < onP) != wantSleepCheaper {
+			t.Errorf("ρ=%g: sleep %g vs on %g (want cheaper=%v)", rho, sleepP, onP, wantSleepCheaper)
+		}
+	}
+	check(be*0.5, true)
+	check(be+0.8*(1-be), false)
+
+	// Sleep power equal to idle power: sleeping never wins (setup burns
+	// busy power for nothing).
+	if got := SleepBreakEvenLoad(service, setup, 200, 200, 100, 100); got != 0 {
+		t.Errorf("no-benefit break-even = %g, want 0", got)
+	}
+	// Free setup and zero sleep power: sleeping always wins.
+	if got := SleepBreakEvenLoad(service, NewDeterministic(1e-12), 200, 0, 0, 100); got != 1 {
+		t.Errorf("always-win break-even = %g, want 1", got)
+	}
+}

@@ -1,0 +1,162 @@
+package queueing
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// This file solves the dispatcher problem the paper's "collection of cluster
+// computing resources" implies: Poisson traffic of rate λ must be split
+// probabilistically across heterogeneous server pools, pool i being an
+// M/M/1 queue with rate μ_i. The mean delay of a split x is
+//
+//	T(x) = Σ_i (x_i/λ) · 1/(μ_i − x_i),
+//
+// and the optimal split has the classic square-root (KKT waterfilling) form:
+// active pools satisfy μ_i/(μ_i − x_i)² = α, i.e. x_i = μ_i − √(μ_i/α),
+// with slow pools left unused until the load justifies waking them.
+
+// SplitDelay returns the mean delay of a given split of rate λ across M/M/1
+// pools with the given service rates. It returns +Inf if any pool is
+// overloaded, and an error on structural problems.
+func SplitDelay(lambda float64, mus, x []float64) (float64, error) {
+	if len(mus) != len(x) || len(mus) == 0 {
+		return 0, fmt.Errorf("queueing: split size %d vs %d pools", len(x), len(mus))
+	}
+	if lambda <= 0 {
+		return 0, fmt.Errorf("queueing: non-positive total rate %g", lambda)
+	}
+	var sum, t float64
+	for i := range x {
+		if x[i] < -1e-12 {
+			return 0, fmt.Errorf("queueing: negative split x[%d]=%g", i, x[i])
+		}
+		sum += x[i]
+		if x[i] <= 0 {
+			continue
+		}
+		if x[i] >= mus[i] {
+			return math.Inf(1), nil
+		}
+		t += x[i] / lambda / (mus[i] - x[i])
+	}
+	if math.Abs(sum-lambda) > 1e-6*(1+lambda) {
+		return 0, fmt.Errorf("queueing: split sums to %g, want %g", sum, lambda)
+	}
+	return t, nil
+}
+
+// OptimalSplit returns the delay-minimizing split of Poisson rate λ across
+// parallel M/M/1 pools with service rates mus, and the resulting mean delay.
+// Requires λ < Σ μ_i. Pools too slow to help at this load receive exactly 0.
+func OptimalSplit(lambda float64, mus []float64) (x []float64, delay float64, err error) {
+	if len(mus) == 0 {
+		return nil, 0, fmt.Errorf("queueing: no pools")
+	}
+	if lambda <= 0 {
+		return nil, 0, fmt.Errorf("queueing: non-positive total rate %g", lambda)
+	}
+	var cap float64
+	for i, mu := range mus {
+		if !(mu > 0) {
+			return nil, 0, fmt.Errorf("queueing: pool %d rate %g must be positive", i, mu)
+		}
+		cap += mu
+	}
+	if lambda >= cap {
+		return nil, 0, fmt.Errorf("queueing: rate %g at or above total capacity %g", lambda, cap)
+	}
+
+	// Assigned load as a function of the multiplier α:
+	// x_i(α) = max(0, μ_i − √(μ_i/α)), strictly increasing in α once
+	// active. Bisect α so the total equals λ.
+	assigned := func(alpha float64) float64 {
+		var s float64
+		for _, mu := range mus {
+			if v := mu - math.Sqrt(mu/alpha); v > 0 {
+				s += v
+			}
+		}
+		return s
+	}
+	// Bracket: below 1/μ_max nothing is assigned; grow until ≥ λ.
+	muMax := 0.0
+	for _, mu := range mus {
+		if mu > muMax {
+			muMax = mu
+		}
+	}
+	lo := 1 / muMax
+	hi := lo * 2
+	for assigned(hi) < lambda {
+		hi *= 2
+		if math.IsInf(hi, 1) {
+			return nil, 0, fmt.Errorf("queueing: failed to bracket the multiplier")
+		}
+	}
+	for i := 0; i < 200 && hi-lo > 1e-15*hi; i++ {
+		mid := (lo + hi) / 2
+		if assigned(mid) < lambda {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	alpha := (lo + hi) / 2
+
+	x = make([]float64, len(mus))
+	var sum float64
+	for i, mu := range mus {
+		if v := mu - math.Sqrt(mu/alpha); v > 0 {
+			x[i] = v
+			sum += v
+		}
+	}
+	// Distribute the residual bisection error over active pools so the
+	// split sums exactly to λ.
+	if sum > 0 {
+		f := lambda / sum
+		for i := range x {
+			x[i] *= f
+		}
+	}
+	delay, err = SplitDelay(lambda, mus, x)
+	return x, delay, err
+}
+
+// ProportionalSplit splits λ proportionally to pool capacity (the equal-
+// utilization heuristic real dispatchers default to).
+func ProportionalSplit(lambda float64, mus []float64) []float64 {
+	var cap float64
+	for _, mu := range mus {
+		cap += mu
+	}
+	x := make([]float64, len(mus))
+	for i, mu := range mus {
+		x[i] = lambda * mu / cap
+	}
+	return x
+}
+
+// EqualSplit splits λ evenly across all pools (round-robin's fluid limit).
+func EqualSplit(lambda float64, n int) []float64 {
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = lambda / float64(n)
+	}
+	return x
+}
+
+// ActivePools returns the indices of pools receiving positive load, slowest
+// first — useful for "when does the slow pool wake up" analyses.
+func ActivePools(x []float64, mus []float64) []int {
+	var idx []int
+	for i, v := range x {
+		if v > 1e-12 {
+			idx = append(idx, i)
+		}
+	}
+	sort.Slice(idx, func(a, b int) bool { return mus[idx[a]] < mus[idx[b]] })
+	return idx
+}

@@ -1,0 +1,211 @@
+package queueing
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSplitDelayMatchesMM1(t *testing.T) {
+	// Single pool: the split delay IS the M/M/1 response.
+	d, err := SplitDelay(0.7, []float64{1}, []float64{0.7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mm1, _ := NewMM1(0.7, 1)
+	if !almostEq(d, mm1.MeanResponse(), 1e-12) {
+		t.Errorf("split delay %g vs M/M/1 %g", d, mm1.MeanResponse())
+	}
+}
+
+func TestSplitDelayErrors(t *testing.T) {
+	if _, err := SplitDelay(1, []float64{1, 2}, []float64{1}); err == nil {
+		t.Error("size mismatch accepted")
+	}
+	if _, err := SplitDelay(0, []float64{1}, []float64{0}); err == nil {
+		t.Error("zero lambda accepted")
+	}
+	if _, err := SplitDelay(1, []float64{2}, []float64{-0.5}); err == nil {
+		t.Error("negative split accepted")
+	}
+	if _, err := SplitDelay(1, []float64{2}, []float64{0.5}); err == nil {
+		t.Error("non-conserving split accepted")
+	}
+	// Overloaded pool gives +Inf, not an error.
+	d, err := SplitDelay(3, []float64{1, 9}, []float64{2, 1})
+	if err != nil || !math.IsInf(d, 1) {
+		t.Errorf("overload: %g, %v", d, err)
+	}
+}
+
+func TestOptimalSplitSymmetricPools(t *testing.T) {
+	// Identical pools: the optimum is the even split.
+	x, d, err := OptimalSplit(1.5, []float64{1, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range x {
+		if !almostEq(v, 0.5, 1e-9) {
+			t.Errorf("x[%d] = %g, want 0.5", i, v)
+		}
+	}
+	mm1, _ := NewMM1(0.5, 1)
+	if !almostEq(d, mm1.MeanResponse(), 1e-9) {
+		t.Errorf("delay %g", d)
+	}
+}
+
+func TestOptimalSplitLeavesSlowPoolIdleAtLowLoad(t *testing.T) {
+	// A fast and a very slow pool: at low load everything goes to the
+	// fast pool (using the slow pool would only add delay).
+	x, _, err := OptimalSplit(0.2, []float64{10, 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x[1] != 0 {
+		t.Errorf("slow pool got %g at low load", x[1])
+	}
+	if !almostEq(x[0], 0.2, 1e-9) {
+		t.Errorf("fast pool got %g", x[0])
+	}
+	// At high load the slow pool wakes up.
+	x2, _, err := OptimalSplit(9.5, []float64{10, 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(x2[1] > 0) {
+		t.Error("slow pool still idle at high load")
+	}
+	active := ActivePools(x2, []float64{10, 0.5})
+	if len(active) != 2 || active[0] != 1 {
+		t.Errorf("active pools = %v", active)
+	}
+}
+
+func TestOptimalSplitBeatsHeuristics(t *testing.T) {
+	mus := []float64{8, 3, 1.5}
+	for _, lam := range []float64{2, 5, 9, 11.5} {
+		x, dOpt, err := OptimalSplit(lam, mus)
+		if err != nil {
+			t.Fatalf("λ=%g: %v", lam, err)
+		}
+		var sum float64
+		for _, v := range x {
+			sum += v
+		}
+		if !almostEq(sum, lam, 1e-9) {
+			t.Errorf("λ=%g: split sums to %g", lam, sum)
+		}
+		dProp, err := SplitDelay(lam, mus, ProportionalSplit(lam, mus))
+		if err != nil {
+			t.Fatal(err)
+		}
+		dEq, err := SplitDelay(lam, mus, EqualSplit(lam, 3))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if dOpt > dProp*(1+1e-9) {
+			t.Errorf("λ=%g: optimal %g worse than proportional %g", lam, dOpt, dProp)
+		}
+		if dOpt > dEq*(1+1e-9) {
+			t.Errorf("λ=%g: optimal %g worse than equal %g", lam, dOpt, dEq)
+		}
+	}
+}
+
+func TestOptimalSplitKKTStationarity(t *testing.T) {
+	// All active pools must share the same marginal delay μ/(μ−x)².
+	mus := []float64{6, 4, 2}
+	x, _, err := OptimalSplit(7, mus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var alpha float64
+	for i, v := range x {
+		if v <= 0 {
+			continue
+		}
+		m := mus[i] / ((mus[i] - v) * (mus[i] - v))
+		if alpha == 0 {
+			alpha = m
+		} else if !almostEq(m, alpha, 1e-6) {
+			t.Errorf("marginal delay of pool %d = %g, others %g", i, m, alpha)
+		}
+	}
+}
+
+func TestOptimalSplitAgainstGoldenSection(t *testing.T) {
+	// Two pools: brute-force the 1-D optimum and compare.
+	mus := []float64{5, 2}
+	lam := 4.0
+	best := math.Inf(1)
+	for x0 := 0.0; x0 <= lam; x0 += 1e-4 {
+		if x0 >= mus[0] || lam-x0 >= mus[1] {
+			continue
+		}
+		d := x0/lam/(mus[0]-x0) + (lam-x0)/lam/(mus[1]-(lam-x0))
+		if d < best {
+			best = d
+		}
+	}
+	_, dOpt, err := OptimalSplit(lam, mus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(dOpt, best, 1e-5) {
+		t.Errorf("waterfilling %g vs brute force %g", dOpt, best)
+	}
+}
+
+func TestOptimalSplitErrors(t *testing.T) {
+	if _, _, err := OptimalSplit(1, nil); err == nil {
+		t.Error("no pools accepted")
+	}
+	if _, _, err := OptimalSplit(0, []float64{1}); err == nil {
+		t.Error("zero rate accepted")
+	}
+	if _, _, err := OptimalSplit(1, []float64{0}); err == nil {
+		t.Error("zero pool rate accepted")
+	}
+	if _, _, err := OptimalSplit(3, []float64{1, 2}); err == nil {
+		t.Error("overload accepted")
+	}
+}
+
+func TestOptimalSplitPropertyQuick(t *testing.T) {
+	f := func(a, b, c, l float64) bool {
+		mus := []float64{
+			0.5 + math.Mod(math.Abs(a), 8),
+			0.5 + math.Mod(math.Abs(b), 8),
+			0.5 + math.Mod(math.Abs(c), 8),
+		}
+		cap := mus[0] + mus[1] + mus[2]
+		lam := (0.05 + 0.9*math.Mod(math.Abs(l), 1)) * cap
+		if math.IsNaN(lam) {
+			return true
+		}
+		x, dOpt, err := OptimalSplit(lam, mus)
+		if err != nil {
+			return false
+		}
+		// Feasible, conserving, stable, and no worse than proportional.
+		var sum float64
+		for i, v := range x {
+			if v < 0 || v >= mus[i] {
+				return false
+			}
+			sum += v
+		}
+		if !almostEq(sum, lam, 1e-6) {
+			return false
+		}
+		dProp, err := SplitDelay(lam, mus, ProportionalSplit(lam, mus))
+		if err != nil {
+			return false
+		}
+		return dOpt <= dProp*(1+1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

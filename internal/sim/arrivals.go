@@ -1,0 +1,103 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+)
+
+// Profile is a time-varying arrival-rate function for one class. The
+// simulator generates arrivals by thinning a Poisson stream at MaxRate, so
+// RateAt must never exceed MaxRate. Profiles are the workload side of the
+// dynamic power management extension: the analytical model covers the
+// stationary case, the simulator explores what happens when traffic moves.
+type Profile interface {
+	// RateAt returns the instantaneous arrival rate at time t ≥ 0.
+	RateAt(t float64) float64
+	// MaxRate returns a finite upper bound on RateAt over all t.
+	MaxRate() float64
+}
+
+// ConstantRate is the stationary Poisson profile (the paper's model).
+type ConstantRate float64
+
+// RateAt implements Profile.
+func (c ConstantRate) RateAt(float64) float64 { return float64(c) }
+
+// MaxRate implements Profile.
+func (c ConstantRate) MaxRate() float64 { return float64(c) }
+
+// Sinusoid is a smooth diurnal profile:
+//
+//	λ(t) = Mean + Amplitude · sin(2π(t+Phase)/Period).
+//
+// Amplitude must not exceed Mean (rates stay non-negative).
+type Sinusoid struct {
+	Mean, Amplitude, Period, Phase float64
+}
+
+// NewSinusoid validates and returns the profile.
+func NewSinusoid(mean, amplitude, period float64) (Sinusoid, error) {
+	if !(mean >= 0) || amplitude < 0 || amplitude > mean || !(period > 0) {
+		return Sinusoid{}, fmt.Errorf("sim: invalid sinusoid mean=%g amp=%g period=%g", mean, amplitude, period)
+	}
+	return Sinusoid{Mean: mean, Amplitude: amplitude, Period: period}, nil
+}
+
+// RateAt implements Profile.
+func (s Sinusoid) RateAt(t float64) float64 {
+	return s.Mean + s.Amplitude*math.Sin(2*math.Pi*(t+s.Phase)/s.Period)
+}
+
+// MaxRate implements Profile.
+func (s Sinusoid) MaxRate() float64 { return s.Mean + s.Amplitude }
+
+// SquareWave is the day/night profile: rate High for the first
+// HighFraction of every period, Low for the rest.
+type SquareWave struct {
+	Low, High, Period, HighFraction float64
+}
+
+// NewSquareWave validates and returns the profile.
+func NewSquareWave(low, high, period, highFraction float64) (SquareWave, error) {
+	if low < 0 || high < low || !(period > 0) || highFraction < 0 || highFraction > 1 {
+		return SquareWave{}, fmt.Errorf("sim: invalid square wave low=%g high=%g period=%g frac=%g",
+			low, high, period, highFraction)
+	}
+	return SquareWave{Low: low, High: high, Period: period, HighFraction: highFraction}, nil
+}
+
+// RateAt implements Profile.
+func (s SquareWave) RateAt(t float64) float64 {
+	phase := math.Mod(t, s.Period) / s.Period
+	if phase < s.HighFraction {
+		return s.High
+	}
+	return s.Low
+}
+
+// MaxRate implements Profile.
+func (s SquareWave) MaxRate() float64 { return s.High }
+
+// MeanRate returns the long-run average rate of a profile over one period
+// for the built-in shapes, or the constant rate. Used to pick fair static
+// baselines in experiments.
+func MeanRate(p Profile) float64 {
+	switch t := p.(type) {
+	case ConstantRate:
+		return float64(t)
+	case Sinusoid:
+		return t.Mean
+	case SquareWave:
+		return t.High*t.HighFraction + t.Low*(1-t.HighFraction)
+	default:
+		// Numerical average over a generic profile, using its max rate to
+		// choose a sampling span.
+		const samples = 10000
+		span := 1000.0
+		var sum float64
+		for i := 0; i < samples; i++ {
+			sum += p.RateAt(span * float64(i) / samples)
+		}
+		return sum / samples
+	}
+}

@@ -1,0 +1,80 @@
+package sim
+
+import "container/heap"
+
+// eventKind discriminates the simulator's event types.
+type eventKind int
+
+const (
+	evArrival   eventKind = iota // candidate external arrival of a class
+	evDeparture                  // service completion at a station
+	evControl                    // runtime DVFS controller epoch
+	evSetupDone                  // a sleeping server finished warming up
+)
+
+// event is one scheduled occurrence. Events are ordered by time with the
+// sequence number as a deterministic tie-breaker, making runs reproducible.
+type event struct {
+	time    float64
+	seq     uint64
+	kind    eventKind
+	class   int
+	job     *job
+	station int
+	run     *serviceRun // for departures: the service run completing
+}
+
+// eventHeap is a binary min-heap of events.
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].time != h[j].time {
+		return h[i].time < h[j].time
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// calendar wraps the heap with a monotone clock and sequence numbering.
+type calendar struct {
+	h   eventHeap
+	seq uint64
+	now float64
+}
+
+func newCalendar() *calendar {
+	c := &calendar{}
+	heap.Init(&c.h)
+	return c
+}
+
+// at schedules an event at absolute time t.
+func (c *calendar) at(t float64, e *event) {
+	e.time = t
+	e.seq = c.seq
+	c.seq++
+	heap.Push(&c.h, e)
+}
+
+// next pops the earliest event and advances the clock; nil when empty.
+func (c *calendar) next() *event {
+	if len(c.h) == 0 {
+		return nil
+	}
+	e := heap.Pop(&c.h).(*event)
+	c.now = e.time
+	return e
+}
+
+// empty reports whether any events remain.
+func (c *calendar) empty() bool { return len(c.h) == 0 }

@@ -1,0 +1,121 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+
+	"clusterq/internal/stats"
+)
+
+// SimulateForkJoin measures the mean response time of a k-queue fork-join
+// system: Poisson(λ) jobs fork into k siblings, one per parallel FCFS M/M(μ)/1
+// queue, and complete when the last sibling finishes. It is the ground truth
+// the queueing.ForkJoinNelsonTantawi approximation is validated against.
+//
+// The function runs `reps` independent replications of `horizon` simulated
+// seconds (10% warmup) in the calling goroutine — fork-join experiments
+// parallelize across parameter points instead.
+func SimulateForkJoin(k int, lambda, mu, horizon float64, reps int, seed uint64) (stats.Estimate, error) {
+	if k < 1 || lambda < 0 || mu <= 0 || horizon <= 0 || reps < 1 {
+		return stats.Estimate{}, fmt.Errorf("sim: invalid fork-join parameters k=%d λ=%g μ=%g horizon=%g reps=%d",
+			k, lambda, mu, horizon, reps)
+	}
+	var acc stats.Welford
+	var total int64
+	for r := 0; r < reps; r++ {
+		mean, n := forkJoinRep(k, lambda, mu, horizon, seed+uint64(r))
+		if n > 0 {
+			acc.Add(mean)
+			total += n
+		}
+	}
+	return stats.Estimate{
+		Mean: acc.Mean(), HalfW: acc.CI(0.95), Level: 0.95,
+		Samples: total, Batches: acc.Count(),
+	}, nil
+}
+
+// fjEvent is one event of the dedicated fork-join simulator.
+type fjEvent struct {
+	time  float64
+	seq   uint64
+	queue int // -1 for arrivals, else the queue whose head departs
+}
+
+type fjHeap []fjEvent
+
+func (h fjHeap) Len() int { return len(h) }
+func (h fjHeap) Less(i, j int) bool {
+	if h[i].time != h[j].time {
+		return h[i].time < h[j].time
+	}
+	return h[i].seq < h[j].seq
+}
+func (h fjHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *fjHeap) Push(x any)   { *h = append(*h, x.(fjEvent)) }
+func (h *fjHeap) Pop() any {
+	old := *h
+	e := old[len(old)-1]
+	*h = old[:len(old)-1]
+	return e
+}
+
+// fjJob tracks one forked job.
+type fjJob struct {
+	arrival float64
+	pending int // siblings not yet finished
+}
+
+// forkJoinRep runs one replication and returns the mean post-warmup response
+// and the sample count.
+func forkJoinRep(k int, lambda, mu, horizon float64, seed uint64) (float64, int64) {
+	rng := NewRNG(seed)
+	warmup := horizon * 0.1
+
+	var cal fjHeap
+	seq := uint64(0)
+	push := func(t float64, queue int) {
+		cal = append(cal, fjEvent{time: t, seq: seq, queue: queue})
+		seq++
+		heap.Fix(&cal, len(cal)-1)
+	}
+	heap.Init(&cal)
+	if lambda > 0 {
+		push(rng.Exp(lambda), -1)
+	}
+
+	queues := make([][]*fjJob, k) // FIFO per queue; head is in service
+	var resp stats.Welford
+
+	for len(cal) > 0 {
+		e := heap.Pop(&cal).(fjEvent)
+		now := e.time
+		if now > horizon {
+			break
+		}
+		if e.queue < 0 {
+			// Arrival: fork into every queue; start service where idle.
+			push(now+rng.Exp(lambda), -1)
+			j := &fjJob{arrival: now, pending: k}
+			for q := 0; q < k; q++ {
+				queues[q] = append(queues[q], j)
+				if len(queues[q]) == 1 {
+					push(now+rng.Exp(mu), q)
+				}
+			}
+			continue
+		}
+		// Departure of the head of queue e.queue.
+		q := e.queue
+		j := queues[q][0]
+		queues[q] = queues[q][1:]
+		j.pending--
+		if j.pending == 0 && j.arrival >= warmup {
+			resp.Add(now - j.arrival)
+		}
+		if len(queues[q]) > 0 {
+			push(now+rng.Exp(mu), q)
+		}
+	}
+	return resp.Mean(), resp.Count()
+}

@@ -1,0 +1,121 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"clusterq/internal/queueing"
+)
+
+func TestForkJoinK1IsMM1(t *testing.T) {
+	// k=1 degenerates to a plain M/M/1.
+	est, err := SimulateForkJoin(1, 0.7, 1, 60000, 5, 61)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 1 / (1 - 0.7)
+	if relErr(est.Mean, want) > 0.04 {
+		t.Errorf("FJ(1) response %v, M/M/1 predicts %g", est, want)
+	}
+}
+
+func TestForkJoinK2MatchesFlattoHahn(t *testing.T) {
+	for _, rho := range []float64{0.3, 0.6, 0.85} {
+		est, err := SimulateForkJoin(2, rho, 1, 80000, 5, 62)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := queueing.ForkJoin2Exact(rho, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if relErr(est.Mean, want) > 0.05 {
+			t.Errorf("ρ=%g: FJ(2) sim %v, exact %g", rho, est, want)
+		}
+	}
+}
+
+func TestForkJoinLowLoadIsHarmonicMax(t *testing.T) {
+	// At vanishing load the response is the max of k service times:
+	// H_k/μ exactly.
+	for _, k := range []int{2, 4, 8} {
+		est, err := SimulateForkJoin(k, 0.02, 1, 80000, 3, 63)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := queueing.HarmonicNumber(k)
+		if relErr(est.Mean, want) > 0.05 {
+			t.Errorf("k=%d: low-load response %v, want H_k=%g", k, est, want)
+		}
+	}
+}
+
+func TestNelsonTantawiAgainstSimulation(t *testing.T) {
+	// The NT approximation claims a few percent accuracy; hold it to 8%
+	// across widths and loads.
+	for _, k := range []int{3, 4, 8, 16} {
+		for _, rho := range []float64{0.3, 0.6, 0.85} {
+			est, err := SimulateForkJoin(k, rho, 1, 60000, 4, 64)
+			if err != nil {
+				t.Fatal(err)
+			}
+			approx, err := queueing.ForkJoinNelsonTantawi(k, rho, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if relErr(est.Mean, approx) > 0.08 {
+				t.Errorf("k=%d ρ=%g: sim %g vs NT %g (%.1f%%)",
+					k, rho, est.Mean, approx, 100*relErr(est.Mean, approx))
+			}
+		}
+	}
+}
+
+func TestForkJoinSyncPenaltyShape(t *testing.T) {
+	// The penalty grows with k and SHRINKS with load (shared arrivals
+	// correlate the queues, so the join barrier costs relatively less
+	// when everyone queues anyway).
+	for _, rho := range []float64{0.1, 0.5, 0.9} {
+		prev := 0.0
+		for _, k := range []int{1, 2, 4, 8, 16} {
+			p, err := queueing.ForkJoinSyncPenalty(k, rho)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if p < prev {
+				t.Errorf("penalty not increasing in k at ρ=%g", rho)
+			}
+			prev = p
+		}
+	}
+	p8lo, _ := queueing.ForkJoinSyncPenalty(8, 0.1)
+	p8hi, _ := queueing.ForkJoinSyncPenalty(8, 0.9)
+	if !(p8hi < p8lo) {
+		t.Errorf("penalty should shrink with load: %g at ρ=0.1 vs %g at ρ=0.9", p8lo, p8hi)
+	}
+	// k=1 penalty is exactly 1 at any load.
+	if p, _ := queueing.ForkJoinSyncPenalty(1, 0.7); !almostEq(p, 1, 1e-12) {
+		t.Errorf("k=1 penalty = %g", p)
+	}
+}
+
+func TestForkJoinValidation(t *testing.T) {
+	if _, err := SimulateForkJoin(0, 1, 1, 100, 1, 0); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, err := SimulateForkJoin(1, 1, 0, 100, 1, 0); err == nil {
+		t.Error("μ=0 accepted")
+	}
+	if _, err := queueing.ForkJoinNelsonTantawi(0, 1, 1); err == nil {
+		t.Error("NT k=0 accepted")
+	}
+	if v, err := queueing.ForkJoinNelsonTantawi(4, 2, 1); err != nil || !math.IsInf(v, 1) {
+		t.Errorf("saturated NT: %g, %v", v, err)
+	}
+	if _, err := queueing.ForkJoinSyncPenalty(2, 1); err == nil {
+		t.Error("ρ=1 penalty accepted")
+	}
+	if h := queueing.HarmonicNumber(4); !almostEq(h, 1+0.5+1.0/3+0.25, 1e-12) {
+		t.Errorf("H_4 = %g", h)
+	}
+}

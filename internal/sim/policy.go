@@ -1,0 +1,99 @@
+package sim
+
+import "fmt"
+
+// Observation is what a runtime DVFS controller sees about one station at a
+// control epoch.
+type Observation struct {
+	Time        float64
+	Station     int
+	Utilization float64 // mean busy fraction per server since the last epoch
+	QueueLen    int     // jobs waiting (not in service) right now
+	Speed       float64 // current speed
+	Servers     int
+	MinSpeed    float64 // clamp range the decision will be held to
+	MaxSpeed    float64
+}
+
+// Controller decides a station's next speed at every control epoch — the
+// online counterpart of the paper's offline optimizations. The returned
+// speed is clamped to [MinSpeed, MaxSpeed] by the simulator.
+type Controller interface {
+	// Name labels the policy in experiment tables.
+	Name() string
+	// Decide returns the speed to run the station at until the next epoch.
+	Decide(obs Observation) float64
+}
+
+// StaticPolicy never changes speeds: the offline-optimal operating point,
+// used as the baseline the reactive policies are compared against.
+type StaticPolicy struct{}
+
+// Name implements Controller.
+func (StaticPolicy) Name() string { return "static" }
+
+// Decide implements Controller.
+func (StaticPolicy) Decide(obs Observation) float64 { return obs.Speed }
+
+// UtilizationPolicy is the classic reactive DVFS rule: scale the speed so
+// the observed utilization moves toward Target, with first-order smoothing
+// (Gain) and a queue-pressure boost that accelerates recovery when work has
+// already piled up (utilization alone saturates at 1 and cannot see backlog).
+type UtilizationPolicy struct {
+	// Target is the desired per-server utilization (default 0.7).
+	Target float64
+	// Gain in (0, 1] is the fraction of the correction applied per epoch
+	// (default 0.5; 1 = jump straight to the estimate).
+	Gain float64
+	// QueueGain scales the backlog boost (default 0.1 per queued job per
+	// server).
+	QueueGain float64
+}
+
+// Name implements Controller.
+func (p UtilizationPolicy) Name() string {
+	return fmt.Sprintf("reactive(ρ*=%.2g)", p.target())
+}
+
+func (p UtilizationPolicy) target() float64 {
+	if p.Target <= 0 || p.Target >= 1 {
+		return 0.7
+	}
+	return p.Target
+}
+
+func (p UtilizationPolicy) gain() float64 {
+	if p.Gain <= 0 || p.Gain > 1 {
+		return 0.5
+	}
+	return p.Gain
+}
+
+func (p UtilizationPolicy) queueGain() float64 {
+	if p.QueueGain < 0 {
+		return 0
+	}
+	if p.QueueGain == 0 {
+		return 0.1
+	}
+	return p.QueueGain
+}
+
+// Decide implements Controller. The served work rate since the last epoch is
+// util·speed·servers; the speed that would serve the same work at the target
+// utilization is util·speed/target. Backlog multiplies the estimate so the
+// queue drains instead of merely not growing.
+func (p UtilizationPolicy) Decide(obs Observation) float64 {
+	desired := obs.Speed * obs.Utilization / p.target()
+	if obs.QueueLen > obs.Servers {
+		desired *= 1 + p.queueGain()*float64(obs.QueueLen)/float64(obs.Servers)
+	}
+	next := obs.Speed + p.gain()*(desired-obs.Speed)
+	if next < obs.MinSpeed {
+		next = obs.MinSpeed
+	}
+	if next > obs.MaxSpeed {
+		next = obs.MaxSpeed
+	}
+	return next
+}

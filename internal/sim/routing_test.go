@@ -1,0 +1,189 @@
+package sim
+
+import (
+	"testing"
+
+	"clusterq/internal/cluster"
+	"clusterq/internal/power"
+	"clusterq/internal/queueing"
+)
+
+// retryCluster builds a single-tier cluster whose class retries with
+// probability p (a Jackson network with feedback — the sim should match the
+// product-form result exactly for FCFS exponential service).
+func retryCluster(lam, mu, p float64) *cluster.Cluster {
+	pm, _ := power.NewPowerLaw(50, 2, 2)
+	return &cluster.Cluster{
+		Tiers: []*cluster.Tier{{
+			Name: "t", Servers: 1, Speed: mu,
+			Discipline: queueing.FCFS, Power: pm,
+			Demands: []queueing.Demand{{Work: 1, CV2: 1}},
+		}},
+		Classes: []cluster.Class{{Name: "a", Lambda: lam}},
+		Routing: []*queueing.ClassRouting{{Entry: []float64{1}, Next: [][]float64{{p}}}},
+	}
+}
+
+func TestSimRetryLoopMatchesJackson(t *testing.T) {
+	lam, mu, p := 0.5, 2.0, 0.4
+	c := retryCluster(lam, mu, p)
+	m, err := cluster.Evaluate(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(c, Options{Horizon: 60000, Replications: 5, Seed: 51})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Jackson: E2E = v·T(λv) with v = 1/(1−p) — exact for this network.
+	v := 1 / (1 - p)
+	mm1, _ := queueing.NewMM1(lam*v, mu)
+	want := v * mm1.MeanResponse()
+	if relErr(m.Delay[0], want) > 1e-9 {
+		t.Fatalf("analytic %g != Jackson %g", m.Delay[0], want)
+	}
+	if relErr(res.Delay[0].Mean, want) > 0.05 {
+		t.Errorf("sim delay %v, Jackson predicts %g", res.Delay[0], want)
+	}
+	// Station utilization reflects the retried traffic.
+	if relErr(res.Tiers[0].Utilization.Mean, lam*v/mu) > 0.04 {
+		t.Errorf("utilization %v, want %g", res.Tiers[0].Utilization, lam*v/mu)
+	}
+	// Per-request energy includes the expected retries.
+	if relErr(res.EnergyPerRequest[0].Mean, m.EnergyPerRequest[0]) > 0.05 {
+		t.Errorf("energy/request sim %v vs analytic %g", res.EnergyPerRequest[0], m.EnergyPerRequest[0])
+	}
+}
+
+func TestSimBranchingRouting(t *testing.T) {
+	// Enter at tier 0, then 50/50 to tier 1 or 2. Throughput splits, and
+	// the analytic model matches the simulation.
+	pm, _ := power.NewPowerLaw(20, 1, 2)
+	mk := func(name string) *cluster.Tier {
+		return &cluster.Tier{Name: name, Servers: 1, Speed: 2,
+			Discipline: queueing.FCFS, Power: pm,
+			Demands: []queueing.Demand{{Work: 1, CV2: 1}}}
+	}
+	c := &cluster.Cluster{
+		Tiers:   []*cluster.Tier{mk("front"), mk("left"), mk("right")},
+		Classes: []cluster.Class{{Name: "a", Lambda: 1.0}},
+		Routing: []*queueing.ClassRouting{{
+			Entry: []float64{1, 0, 0},
+			Next:  [][]float64{{0, 0.5, 0.5}, {0, 0, 0}, {0, 0, 0}},
+		}},
+	}
+	m, err := cluster.Evaluate(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(c, Options{Horizon: 40000, Replications: 4, Seed: 52})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if relErr(res.Delay[0].Mean, m.Delay[0]) > 0.05 {
+		t.Errorf("sim %v vs analytic %g", res.Delay[0], m.Delay[0])
+	}
+	// The two branches each see half the traffic.
+	for _, j := range []int{1, 2} {
+		if relErr(res.Tiers[j].Utilization.Mean, 0.25) > 0.08 {
+			t.Errorf("branch %d utilization %v, want 0.25", j, res.Tiers[j].Utilization)
+		}
+	}
+}
+
+func TestSimRoutingDeterministicEquivalence(t *testing.T) {
+	// A chain expressing the plain tandem must give the same analytic
+	// prediction and statistically matching simulated delays.
+	pm, _ := power.NewPowerLaw(20, 1, 2)
+	mk := func(name string) *cluster.Tier {
+		return &cluster.Tier{Name: name, Servers: 1, Speed: 2,
+			Discipline: queueing.NonPreemptive, Power: pm,
+			Demands: []queueing.Demand{{Work: 1, CV2: 1}}}
+	}
+	chainRoute, err := queueing.RoutingFromRoute([]int{0, 1}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	det := &cluster.Cluster{
+		Tiers:   []*cluster.Tier{mk("a"), mk("b")},
+		Classes: []cluster.Class{{Name: "x", Lambda: 0.9}},
+	}
+	chain := det.Clone()
+	chain.Routing = []*queueing.ClassRouting{chainRoute}
+
+	mDet, err := cluster.Evaluate(det)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mChain, err := cluster.Evaluate(chain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if relErr(mChain.Delay[0], mDet.Delay[0]) > 1e-12 {
+		t.Fatalf("analytic mismatch: %g vs %g", mChain.Delay[0], mDet.Delay[0])
+	}
+	rDet, err := Run(det, Options{Horizon: 20000, Replications: 3, Seed: 53})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rChain, err := Run(chain, Options{Horizon: 20000, Replications: 3, Seed: 53})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if relErr(rChain.Delay[0].Mean, rDet.Delay[0].Mean) > 0.06 {
+		t.Errorf("sim mismatch: chain %g vs det %g", rChain.Delay[0].Mean, rDet.Delay[0].Mean)
+	}
+}
+
+func TestSimRoutingWithPriorities(t *testing.T) {
+	// Two classes, low priority retries: its retries must not break the
+	// priority ordering, and both classes should match the analytic model
+	// within the usual network-approximation error.
+	pm, _ := power.NewPowerLaw(30, 1, 2)
+	c := &cluster.Cluster{
+		Tiers: []*cluster.Tier{{
+			Name: "t", Servers: 1, Speed: 2,
+			Discipline: queueing.NonPreemptive, Power: pm,
+			Demands: []queueing.Demand{{Work: 1, CV2: 1}, {Work: 1, CV2: 1}},
+		}},
+		Classes: []cluster.Class{
+			{Name: "hi", Lambda: 0.4},
+			{Name: "lo", Lambda: 0.4},
+		},
+		Routing: []*queueing.ClassRouting{
+			{Entry: []float64{1}, Next: [][]float64{{0}}},   // one visit
+			{Entry: []float64{1}, Next: [][]float64{{0.3}}}, // geometric retries
+		},
+	}
+	m, err := cluster.Evaluate(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(c, Options{Horizon: 50000, Replications: 4, Seed: 54})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(res.Delay[0].Mean < res.Delay[1].Mean) {
+		t.Errorf("priority ordering broken: %g vs %g", res.Delay[0].Mean, res.Delay[1].Mean)
+	}
+	// Both classes track the model (this test once caught a real bug:
+	// re-entering jobs grabbing the server they had just freed instead of
+	// rejoining behind the queue).
+	for k := range c.Classes {
+		if relErr(res.Delay[k].Mean, m.Delay[k]) > 0.08 {
+			t.Errorf("class %d: sim %g vs analytic %g", k, res.Delay[k].Mean, m.Delay[k])
+		}
+	}
+}
+
+func TestClusterRoutingValidation(t *testing.T) {
+	c := retryCluster(0.5, 2, 0.4)
+	c.Routing = []*queueing.ClassRouting{nil, nil} // wrong length
+	if err := c.Validate(); err == nil {
+		t.Error("routing length mismatch accepted")
+	}
+	c2 := retryCluster(0.5, 2, 1.0) // recurrent: never exits
+	if err := c2.Validate(); err == nil {
+		t.Error("recurrent routing accepted")
+	}
+}

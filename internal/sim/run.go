@@ -1,0 +1,366 @@
+package sim
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"runtime"
+	"sync"
+
+	"clusterq/internal/cluster"
+	"clusterq/internal/queueing"
+	"clusterq/internal/stats"
+)
+
+// Options configures a simulation experiment.
+type Options struct {
+	// Horizon is the simulated time per replication (required, > 0).
+	Horizon float64
+	// Warmup is the initial transient discarded from every replication
+	// (default 10% of the horizon).
+	Warmup float64
+	// Replications is the number of independent runs (default 5); the
+	// confidence intervals come from across-replication variability.
+	Replications int
+	// Seed selects the replication seed sequence (replication r uses
+	// Seed + r), making experiments reproducible.
+	Seed uint64
+	// Quantiles lists end-to-end delay quantiles to estimate per class
+	// (e.g. 0.95); empty means none.
+	Quantiles []float64
+	// Confidence is the CI level (default 0.95).
+	Confidence float64
+	// Profiles optionally replaces each class's constant Poisson arrivals
+	// with a time-varying profile (nil entries keep the constant rate).
+	// When set, its length must equal the class count. This is the
+	// workload side of the dynamic power management extension; the
+	// analytical model stays stationary.
+	Profiles []Profile
+	// Controller optionally runs a DVFS policy at runtime, re-deciding
+	// every ControlPeriod simulated seconds. Requires ControlPeriod > 0.
+	Controller    Controller
+	ControlPeriod float64
+	// Trace, when non-nil, streams every simulator event as a CSV row
+	// (header sim.TraceHeader). Tracing requires Replications == 1 —
+	// interleaved traces from parallel replications would be meaningless.
+	// Wrap the writer in bufio for long runs; traces are large.
+	Trace io.Writer
+	// Sleep optionally enables the instant-off sleep policy per tier: a
+	// non-nil entry j means tier j's idle servers power down to SleepPower
+	// watts and pay a Setup period (at busy power) before serving the
+	// first request of each busy period. Length must equal the tier count
+	// when set. Preemption is not combined with sleep: a sleeping tier
+	// serves in strict priority order without interrupting service.
+	Sleep []*SleepConfig
+}
+
+// SleepConfig parameterizes a tier's instant-off sleep policy.
+type SleepConfig struct {
+	// Setup is the wake-up (setup) time distribution.
+	Setup queueing.ServiceDist
+	// SleepPower is the per-server power draw while asleep (W), typically
+	// far below the idle power the always-on model pays.
+	SleepPower float64
+}
+
+func (o *Options) defaults() error {
+	if !(o.Horizon > 0) {
+		return fmt.Errorf("sim: horizon %g must be positive", o.Horizon)
+	}
+	if o.Warmup < 0 || o.Warmup >= o.Horizon {
+		return fmt.Errorf("sim: warmup %g must be in [0, horizon)", o.Warmup)
+	}
+	if o.Warmup == 0 {
+		o.Warmup = o.Horizon * 0.1
+	}
+	if o.Replications <= 0 {
+		o.Replications = 5
+	}
+	if o.Confidence <= 0 || o.Confidence >= 1 {
+		o.Confidence = 0.95
+	}
+	if o.Controller != nil && !(o.ControlPeriod > 0) {
+		return fmt.Errorf("sim: a controller requires a positive control period")
+	}
+	if o.Trace != nil && o.Replications != 1 {
+		return fmt.Errorf("sim: tracing requires exactly 1 replication, got %d", o.Replications)
+	}
+	return nil
+}
+
+// validateSleep cross-checks the sleep configs against the tier count.
+func (o *Options) validateSleep(numTiers int) error {
+	if o.Sleep == nil {
+		return nil
+	}
+	if len(o.Sleep) != numTiers {
+		return fmt.Errorf("sim: %d sleep configs for %d tiers", len(o.Sleep), numTiers)
+	}
+	for j, sc := range o.Sleep {
+		if sc == nil {
+			continue
+		}
+		if sc.Setup == nil || !(sc.Setup.Mean() > 0) {
+			return fmt.Errorf("sim: tier %d sleep config lacks a setup distribution", j)
+		}
+		if sc.SleepPower < 0 {
+			return fmt.Errorf("sim: tier %d negative sleep power %g", j, sc.SleepPower)
+		}
+	}
+	return nil
+}
+
+// validateProfiles cross-checks the profile list against the class count.
+func (o *Options) validateProfiles(numClasses int) error {
+	if o.Profiles == nil {
+		return nil
+	}
+	if len(o.Profiles) != numClasses {
+		return fmt.Errorf("sim: %d profiles for %d classes", len(o.Profiles), numClasses)
+	}
+	for k, p := range o.Profiles {
+		if p == nil {
+			continue
+		}
+		if !(p.MaxRate() >= 0) {
+			return fmt.Errorf("sim: class %d profile has invalid max rate %g", k, p.MaxRate())
+		}
+	}
+	return nil
+}
+
+// TierResult is the measured steady state of one tier.
+type TierResult struct {
+	Name        string
+	Utilization stats.Estimate // mean busy fraction per server
+	Power       stats.Estimate // average power draw (W)
+	// WaitByClass[k] is the mean waiting time class k experiences per
+	// visit to this tier — the per-tier decomposition of the end-to-end
+	// delays, useful for locating which tier hurts which class.
+	WaitByClass []stats.Estimate
+}
+
+// Result aggregates the simulation output across replications.
+type Result struct {
+	// Delay[k] is class k's measured mean end-to-end response time.
+	Delay []stats.Estimate
+	// DelayQuantile[k][p] is the measured p-quantile of class k's delay
+	// (averaged across replications).
+	DelayQuantile []map[float64]float64
+	// WeightedDelay is the completion-weighted all-class mean delay.
+	WeightedDelay stats.Estimate
+	// TotalPower is the measured cluster average power (W).
+	TotalPower stats.Estimate
+	// EnergyPerRequest[k] is the measured dynamic energy per class-k
+	// request (J).
+	EnergyPerRequest []stats.Estimate
+	// Tiers holds per-tier measurements.
+	Tiers []TierResult
+	// Completed[k] counts post-warmup completions of class k, summed over
+	// replications.
+	Completed []int64
+	// Replications actually run.
+	Replications int
+}
+
+// repOutput is the per-replication summary fed to the aggregator.
+type repOutput struct {
+	delay     []float64
+	wDelay    float64
+	quant     []map[float64]float64
+	power     float64
+	energy    []float64 // per request, per class
+	tierUtil  []float64
+	tierPower []float64
+	tierWait  [][]float64 // [tier][class] mean wait per visit
+	completed []int64
+}
+
+// Run simulates the cluster and aggregates the replications.
+func Run(c *cluster.Cluster, o Options) (*Result, error) {
+	if err := o.defaults(); err != nil {
+		return nil, err
+	}
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	k := len(c.Classes)
+	jn := len(c.Tiers)
+
+	if err := o.validateProfiles(k); err != nil {
+		return nil, err
+	}
+	if err := o.validateSleep(jn); err != nil {
+		return nil, err
+	}
+	// Replications are independent (own RNG streams, own event calendar)
+	// and read the cluster immutably, so they run in parallel, bounded by
+	// the CPU count. Each replication's seed fixes its result, so the
+	// output is deterministic regardless of scheduling.
+	reps := make([]repOutput, o.Replications)
+	errs := make([]error, o.Replications)
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	for r := 0; r < o.Replications; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			s, err := newSimulator(c, o, o.Seed+uint64(r))
+			if err != nil {
+				errs[r] = err
+				return
+			}
+			s.run()
+			reps[r] = s.summarize()
+		}(r)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	res := &Result{
+		Delay:            make([]stats.Estimate, k),
+		DelayQuantile:    make([]map[float64]float64, k),
+		EnergyPerRequest: make([]stats.Estimate, k),
+		Tiers:            make([]TierResult, jn),
+		Completed:        make([]int64, k),
+		Replications:     o.Replications,
+	}
+
+	agg := func(pick func(repOutput) float64) stats.Estimate {
+		var w stats.Welford
+		var n int64
+		for _, r := range reps {
+			v := pick(r)
+			if !math.IsNaN(v) {
+				w.Add(v)
+			}
+		}
+		n = w.Count()
+		return stats.Estimate{
+			Mean: w.Mean(), HalfW: w.CI(o.Confidence), Level: o.Confidence,
+			Samples: n, Batches: n,
+		}
+	}
+
+	for cl := 0; cl < k; cl++ {
+		cl := cl
+		res.Delay[cl] = agg(func(r repOutput) float64 { return r.delay[cl] })
+		res.EnergyPerRequest[cl] = agg(func(r repOutput) float64 { return r.energy[cl] })
+		for _, r := range reps {
+			res.Completed[cl] += r.completed[cl]
+		}
+		// Quantiles: average across replications.
+		if len(o.Quantiles) > 0 {
+			m := make(map[float64]float64, len(o.Quantiles))
+			for _, p := range o.Quantiles {
+				var w stats.Welford
+				for _, r := range reps {
+					if v := r.quant[cl][p]; !math.IsNaN(v) {
+						w.Add(v)
+					}
+				}
+				m[p] = w.Mean()
+			}
+			res.DelayQuantile[cl] = m
+		}
+	}
+	res.WeightedDelay = agg(func(r repOutput) float64 { return r.wDelay })
+	res.TotalPower = agg(func(r repOutput) float64 { return r.power })
+	for j := 0; j < jn; j++ {
+		j := j
+		waits := make([]stats.Estimate, k)
+		for cl := 0; cl < k; cl++ {
+			cl := cl
+			waits[cl] = agg(func(r repOutput) float64 { return r.tierWait[j][cl] })
+		}
+		res.Tiers[j] = TierResult{
+			Name:        c.Tiers[j].Name,
+			Utilization: agg(func(r repOutput) float64 { return r.tierUtil[j] }),
+			Power:       agg(func(r repOutput) float64 { return r.tierPower[j] }),
+			WaitByClass: waits,
+		}
+	}
+	return res, nil
+}
+
+// summarize reduces one replication's raw collectors to scalars.
+func (s *simulator) summarize() repOutput {
+	k := len(s.c.Classes)
+	out := repOutput{
+		delay:     make([]float64, k),
+		quant:     make([]map[float64]float64, k),
+		energy:    make([]float64, k),
+		tierUtil:  make([]float64, len(s.stations)),
+		tierPower: make([]float64, len(s.stations)),
+		completed: make([]int64, k),
+	}
+	var wNum, wDen float64
+	for cl := 0; cl < k; cl++ {
+		out.delay[cl] = s.delay[cl].Mean()
+		out.completed[cl] = s.completed[cl]
+		if n := s.completed[cl]; n > 0 {
+			wNum += float64(n) * s.delay[cl].Mean()
+			wDen += float64(n)
+		}
+		q := make(map[float64]float64, len(s.quantiles))
+		for _, p := range s.quantiles {
+			q[p] = s.delayQ[cl].Value(p)
+		}
+		out.quant[cl] = q
+	}
+	if wDen > 0 {
+		out.wDelay = wNum / wDen
+	} else {
+		out.wDelay = math.NaN()
+	}
+
+	span := s.horizon
+	out.tierWait = make([][]float64, len(s.stations))
+	for j, st := range s.stations {
+		out.tierWait[j] = make([]float64, k)
+		for cl := 0; cl < k; cl++ {
+			out.tierWait[j][cl] = st.waitByCls[cl].Mean()
+		}
+		busyMean := st.busy.MeanAt(span)
+		if math.IsNaN(busyMean) {
+			busyMean = 0
+		}
+		out.tierUtil[j] = busyMean / float64(st.servers)
+		// Power is integrated directly (powerTW) so runtime speed changes
+		// are accounted exactly.
+		p := st.powerTW.MeanAt(span)
+		if math.IsNaN(p) {
+			p = st.instPower()
+		}
+		out.tierPower[j] = p
+		out.power += out.tierPower[j]
+	}
+
+	// Per-class dynamic energy per request: energy accumulated at all
+	// stations divided by completions of the class.
+	for cl := 0; cl < k; cl++ {
+		var e float64
+		var served int64
+		for _, st := range s.stations {
+			e += st.svcEnergy[cl]
+			if st.servedCls[cl] > served {
+				served = st.servedCls[cl]
+			}
+		}
+		// Use end-to-end completions as the divisor; station visits of
+		// in-flight jobs make the numerator slightly larger, a vanishing
+		// edge effect over long horizons.
+		if s.completed[cl] > 0 {
+			out.energy[cl] = e / float64(s.completed[cl])
+		} else {
+			out.energy[cl] = math.NaN()
+		}
+	}
+	return out
+}

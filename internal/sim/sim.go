@@ -1,0 +1,420 @@
+package sim
+
+import (
+	"clusterq/internal/cluster"
+	"clusterq/internal/queueing"
+	"clusterq/internal/stats"
+)
+
+// simulator holds the state of one replication.
+type simulator struct {
+	c        *cluster.Cluster
+	cal      *calendar
+	arrRNG   []*RNG // one arrival stream per class
+	svcRNG   []*RNG // one service stream per station
+	stations []*simStation
+	routes   [][]int
+
+	warmup     float64
+	horizon    float64
+	warmupDone bool
+	jobSeq     uint64
+
+	// Dynamic power management extension: per-class arrival profiles
+	// (constant when absent) and an optional runtime DVFS controller.
+	profiles      []Profile
+	controller    Controller
+	controlPeriod float64
+
+	// Probabilistic routing: per-class Markov chains (nil = deterministic
+	// route) and the RNG streams that drive next-hop sampling.
+	routings []*queueing.ClassRouting
+	routeRNG []*RNG
+
+	tr *traceWriter // nil unless Options.Trace is set
+
+	delay     []*stats.Welford // end-to-end response per class
+	delayQ    []*stats.QuantileSet
+	completed []int64
+	quantiles []float64
+}
+
+func newSimulator(c *cluster.Cluster, o Options, seed uint64) (*simulator, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	root := NewRNG(seed)
+	s := &simulator{
+		c:             c,
+		cal:           newCalendar(),
+		warmup:        o.Warmup,
+		horizon:       o.Horizon,
+		routes:        make([][]int, len(c.Classes)),
+		quantiles:     o.Quantiles,
+		controller:    o.Controller,
+		controlPeriod: o.ControlPeriod,
+	}
+	if o.Trace != nil {
+		s.tr = newTraceWriter(o.Trace)
+	}
+	quantiles := o.Quantiles
+	// Resolve arrival profiles: default every class to its constant rate.
+	s.profiles = make([]Profile, len(c.Classes))
+	for k, cl := range c.Classes {
+		if o.Profiles != nil && o.Profiles[k] != nil {
+			s.profiles[k] = o.Profiles[k]
+		} else {
+			s.profiles[k] = ConstantRate(cl.Lambda)
+		}
+	}
+	for k := range c.Classes {
+		s.routes[k] = c.Route(k)
+	}
+	s.routings = make([]*queueing.ClassRouting, len(c.Classes))
+	if c.Routing != nil {
+		copy(s.routings, c.Routing)
+	}
+	for range c.Classes {
+		s.arrRNG = append(s.arrRNG, root.Split())
+		s.routeRNG = append(s.routeRNG, root.Split())
+	}
+	for j, t := range c.Tiers {
+		st := &simStation{
+			idx:        j,
+			servers:    t.Servers,
+			speed:      t.Speed,
+			minSpeed:   t.MinSpeed,
+			maxSpeed:   t.MaxSpeed,
+			discipline: t.Discipline,
+			pm:         t.Power,
+			queues:     make([][]*job, len(c.Classes)),
+			waitByCls:  make([]*stats.Welford, len(c.Classes)),
+			svcEnergy:  make([]float64, len(c.Classes)),
+			servedCls:  make([]int64, len(c.Classes)),
+		}
+		// Controllers need a clamp range even when the tier left the DVFS
+		// bounds unset.
+		if st.minSpeed <= 0 {
+			st.minSpeed = t.Speed / 4
+		}
+		if st.maxSpeed <= 0 {
+			st.maxSpeed = t.Speed * 4
+		}
+		if o.Sleep != nil && o.Sleep[j] != nil {
+			st.sleepEnabled = true
+			st.setupSampler = SamplerFor(o.Sleep[j].Setup)
+			st.sleepPower = o.Sleep[j].SleepPower
+		}
+		for k := range c.Classes {
+			st.queues[k] = nil
+			st.waitByCls[k] = &stats.Welford{}
+			// Work samplers reproduce the analytical demand shape.
+			d := t.Demands[k]
+			st.samplers = append(st.samplers, SamplerFor(queueing.DistForCV2(d.Work, d.CV2)))
+		}
+		st.busy.StartAt(0, 0)
+		st.epochBusy.StartAt(0, 0)
+		st.powerTW.StartAt(0, st.instPower())
+		s.stations = append(s.stations, st)
+		s.svcRNG = append(s.svcRNG, root.Split())
+	}
+	s.delay = make([]*stats.Welford, len(c.Classes))
+	s.delayQ = make([]*stats.QuantileSet, len(c.Classes))
+	s.completed = make([]int64, len(c.Classes))
+	for k := range c.Classes {
+		s.delay[k] = &stats.Welford{}
+		s.delayQ[k] = stats.NewQuantileSet(quantiles...)
+	}
+	// Prime one candidate arrival per class with a positive peak rate; the
+	// thinning step in handleArrival realizes the instantaneous rate.
+	for k := range c.Classes {
+		if s.profiles[k].MaxRate() > 0 {
+			s.cal.at(s.arrRNG[k].Exp(s.profiles[k].MaxRate()), &event{kind: evArrival, class: k})
+		}
+	}
+	// Prime the control loop.
+	if s.controller != nil && s.controlPeriod > 0 {
+		s.cal.at(s.controlPeriod, &event{kind: evControl})
+	}
+	return s, nil
+}
+
+// run executes the replication to the horizon.
+func (s *simulator) run() {
+	for !s.cal.empty() {
+		e := s.cal.next()
+		if e.time > s.horizon {
+			break
+		}
+		if !s.warmupDone && e.time >= s.warmup {
+			s.endWarmup(e.time)
+		}
+		switch e.kind {
+		case evArrival:
+			s.handleArrival(e)
+		case evDeparture:
+			s.handleDeparture(e)
+		case evControl:
+			s.handleControl()
+		case evSetupDone:
+			s.handleSetupDone(e)
+		}
+	}
+}
+
+func (s *simulator) endWarmup(now float64) {
+	s.warmupDone = true
+	for _, st := range s.stations {
+		st.resetStats(now)
+	}
+	for k := range s.delay {
+		s.delay[k].Reset()
+		s.delayQ[k] = stats.NewQuantileSet(s.quantiles...)
+		s.completed[k] = 0
+	}
+}
+
+func (s *simulator) handleArrival(e *event) {
+	now := s.cal.now
+	k := e.class
+	// Schedule the next candidate arrival at the profile's peak rate.
+	prof := s.profiles[k]
+	s.cal.at(now+s.arrRNG[k].Exp(prof.MaxRate()), &event{kind: evArrival, class: k})
+
+	// Thinning: a candidate becomes a real arrival with probability
+	// λ(t)/λ_max, yielding an exact non-homogeneous Poisson process.
+	if accept := prof.RateAt(now) / prof.MaxRate(); accept < 1 && s.arrRNG[k].Float64() >= accept {
+		return
+	}
+
+	s.jobSeq++
+	j := &job{id: s.jobSeq, class: k, arrival: now}
+	s.tr.event(now, TraceArrival, k, j.id, -1, 0)
+	if r := s.routings[k]; r != nil {
+		entry := s.sampleIndex(k, r.Entry)
+		if entry < 0 {
+			return // numerically empty entry distribution
+		}
+		s.deliverTo(j, entry, now)
+		return
+	}
+	s.deliver(j, now)
+}
+
+// sampleIndex draws an index from a (sub)stochastic row using class k's
+// routing stream; -1 means "none" (the residual mass, i.e. exit).
+func (s *simulator) sampleIndex(k int, probs []float64) int {
+	u := s.routeRNG[k].Float64()
+	var cum float64
+	for i, p := range probs {
+		cum += p
+		if u < cum {
+			return i
+		}
+	}
+	return -1
+}
+
+// handleControl runs one epoch of the runtime DVFS controller.
+func (s *simulator) handleControl() {
+	now := s.cal.now
+	for _, st := range s.stations {
+		util := st.epochBusy.MeanAt(now) / float64(st.servers)
+		if util != util { // NaN: zero-length epoch
+			util = float64(len(st.running)) / float64(st.servers)
+		}
+		obs := Observation{
+			Time:        now,
+			Station:     st.idx,
+			Utilization: util,
+			QueueLen:    st.queueLen(),
+			Speed:       st.speed,
+			Servers:     st.servers,
+			MinSpeed:    st.minSpeed,
+			MaxSpeed:    st.maxSpeed,
+		}
+		next := s.controller.Decide(obs)
+		if next < st.minSpeed {
+			next = st.minSpeed
+		}
+		if next > st.maxSpeed {
+			next = st.maxSpeed
+		}
+		s.setSpeed(st, now, next)
+		st.epochBusy.StartAt(now, float64(len(st.running)))
+	}
+	s.cal.at(now+s.controlPeriod, &event{kind: evControl})
+}
+
+// maybeWake starts warming a sleeping server when there is more queued work
+// than servers already warming up.
+func (s *simulator) maybeWake(st *simStation, now float64) {
+	if st.sleepingServers() > 0 && st.settingUp < st.queueLen() {
+		s.tr.event(now, TraceSetupBegin, -1, 0, st.idx, 0)
+		st.settingUp++
+		st.observeBusy(now) // power steps from sleep to setup level
+		d := st.setupSampler.Sample(s.svcRNG[st.idx])
+		s.cal.at(now+d, &event{kind: evSetupDone, station: st.idx})
+	}
+}
+
+// handleSetupDone puts a freshly warmed server to work, or straight back to
+// sleep when the queue drained while it warmed up.
+func (s *simulator) handleSetupDone(e *event) {
+	now := s.cal.now
+	st := s.stations[e.station]
+	st.settingUp--
+	s.tr.event(now, TraceSetupDone, -1, 0, st.idx, 0)
+	if next := st.nextWaiting(); next != nil {
+		s.startService(st, next, now)
+	} else {
+		st.observeBusy(now) // back to sleep
+	}
+}
+
+// setSpeed retunes a station mid-run: every in-flight service banks its
+// segment at the old speed, then resumes at the new one with its departure
+// rescheduled from the remaining work.
+func (s *simulator) setSpeed(st *simStation, now, speed float64) {
+	if speed == st.speed {
+		return
+	}
+	s.tr.event(now, TraceRetune, -1, 0, st.idx, speed)
+	old := st.running
+	// Bank all segments at the old speed before switching.
+	for _, run := range old {
+		st.bankSegment(run, now)
+		run.cancelled = true
+	}
+	st.speed = speed
+	st.running = make([]*serviceRun, 0, len(old))
+	for _, run := range old {
+		nr := &serviceRun{job: run.job, start: now}
+		st.running = append(st.running, nr)
+		rem := run.job.remaining
+		if rem < 1e-12 {
+			rem = 1e-12
+		}
+		s.cal.at(now+rem/speed, &event{kind: evDeparture, station: st.idx, job: run.job, run: nr})
+	}
+	st.observeBusy(now) // record the new power level
+}
+
+// deliver hands the job to the next station on its deterministic route.
+func (s *simulator) deliver(j *job, now float64) {
+	s.deliverTo(j, s.routes[j.class][j.routePos], now)
+}
+
+// deliverTo hands the job to a specific station, drawing a fresh work sample.
+func (s *simulator) deliverTo(j *job, stIdx int, now float64) {
+	st := s.stations[stIdx]
+	j.cur = stIdx
+	j.remaining = st.samplers[j.class].Sample(s.svcRNG[stIdx])
+	j.enqueued = now
+	j.servedTime = 0
+	s.arriveAtStation(st, j, now)
+}
+
+func (s *simulator) arriveAtStation(st *simStation, j *job, now float64) {
+	if st.sleepEnabled {
+		// Instant-off: there are never awake idle servers; the job queues
+		// and a sleeper starts warming up if one is available and not
+		// already spoken for.
+		st.enqueue(j, now)
+		s.maybeWake(st, now)
+		return
+	}
+	if st.freeServers() > 0 {
+		s.startService(st, j, now)
+		return
+	}
+	if st.discipline == queueing.PreemptiveResume {
+		if victim := st.lowestPriorityRunning(); victim != nil && j.class < victim.job.class {
+			s.preempt(st, victim, now)
+			s.startService(st, j, now)
+			return
+		}
+	}
+	st.enqueue(j, now)
+}
+
+// preempt stops a running service, banks the finished work segment, and
+// requeues the job at the head of its class line.
+func (s *simulator) preempt(st *simStation, run *serviceRun, now float64) {
+	s.tr.event(now, TracePreempt, run.job.class, run.job.id, st.idx, 0)
+	run.cancelled = true
+	st.bankSegment(run, now)
+	if run.job.remaining < 1e-12 {
+		run.job.remaining = 1e-12 // numerically vanished; finishes immediately on resume
+	}
+	st.dropRun(run)
+	st.observeBusy(now)
+	st.requeueFront(run.job)
+}
+
+func (s *simulator) startService(st *simStation, j *job, now float64) {
+	s.tr.event(now, TraceStart, j.class, j.id, st.idx, 0)
+	run := &serviceRun{job: j, start: now}
+	st.running = append(st.running, run)
+	st.observeBusy(now)
+	s.cal.at(now+j.remaining/st.speed, &event{kind: evDeparture, station: st.idx, job: j, run: run})
+}
+
+func (s *simulator) handleDeparture(e *event) {
+	if e.run.cancelled {
+		return
+	}
+	now := s.cal.now
+	st := s.stations[e.station]
+	j := e.job
+	// Bank the final service segment (energy + in-service time), then
+	// retire the run. Everything at the station that was not in-service
+	// time was waiting, including gaps caused by preemption.
+	st.bankSegment(e.run, now)
+	st.dropRun(e.run)
+	st.observeBusy(now)
+
+	wait := (now - j.enqueued) - j.servedTime
+	if wait < 0 {
+		wait = 0 // floating-point dust on uncontended visits
+	}
+	st.waitByCls[j.class].Add(wait)
+	st.servedCls[j.class]++
+	s.tr.event(now, TraceVisitEnd, j.class, j.id, st.idx, 0)
+
+	// Hand the freed server to the queue BEFORE routing the departing job
+	// onward: a job feeding back to the same station must rejoin behind
+	// the work already waiting, not grab the server it just released.
+	if next := st.nextWaiting(); next != nil {
+		s.startService(st, next, now)
+	}
+
+	// Route advance: probabilistic next hop under a routing chain,
+	// positional advance along a deterministic route otherwise.
+	done := false
+	if r := s.routings[j.class]; r != nil {
+		next := s.sampleIndex(j.class, r.Next[j.cur])
+		if next >= 0 {
+			s.deliverTo(j, next, now)
+		} else {
+			done = true
+		}
+	} else {
+		j.routePos++
+		if j.routePos < len(s.routes[j.class]) {
+			s.deliver(j, now)
+		} else {
+			done = true
+		}
+	}
+	if done {
+		s.tr.event(now, TraceExit, j.class, j.id, -1, now-j.arrival)
+		if j.arrival >= s.warmup {
+			// Only post-warmup arrivals count toward steady-state output.
+			d := now - j.arrival
+			s.delay[j.class].Add(d)
+			s.delayQ[j.class].Add(d)
+			s.completed[j.class]++
+		}
+	}
+}

@@ -1,0 +1,158 @@
+package sim
+
+import (
+	"testing"
+
+	"clusterq/internal/cluster"
+	"clusterq/internal/power"
+	"clusterq/internal/queueing"
+)
+
+func sleepOpts(setupMean, sleepW float64) Options {
+	return Options{
+		Horizon: 60000, Replications: 5, Seed: 31,
+		Sleep: []*SleepConfig{{Setup: queueing.NewExponential(setupMean), SleepPower: sleepW}},
+	}
+}
+
+func TestSleepMM1MatchesWelch(t *testing.T) {
+	// M/M/1 instant-off with exponential setup: E[T] = 1/(μ−λ) + E[setup].
+	lam, setupMean := 0.5, 2.0
+	c := oneTier(1, 1, queueing.NonPreemptive,
+		[]cluster.Class{{Name: "a", Lambda: lam}},
+		[]queueing.Demand{{Work: 1, CV2: 1}})
+	res, err := Run(c, sleepOpts(setupMean, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := queueing.NewMG1Setup(lam, queueing.NewExponential(1), queueing.NewExponential(setupMean))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if relErr(res.Delay[0].Mean, q.MeanResponse()) > 0.05 {
+		t.Errorf("sleep M/M/1 response %v, Welch predicts %g", res.Delay[0], q.MeanResponse())
+	}
+}
+
+func TestSleepMG1SetupDeterministic(t *testing.T) {
+	lam := 0.6
+	c := oneTier(1, 1, queueing.NonPreemptive,
+		[]cluster.Class{{Name: "a", Lambda: lam}},
+		[]queueing.Demand{{Work: 1, CV2: 0.5}}) // Erlang-2 service
+	o := Options{
+		Horizon: 60000, Replications: 5, Seed: 37,
+		Sleep: []*SleepConfig{{Setup: queueing.NewDeterministic(1.5), SleepPower: 0}},
+	}
+	res, err := Run(c, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, _ := queueing.NewMG1Setup(lam, queueing.NewErlang(1, 2), queueing.NewDeterministic(1.5))
+	if relErr(res.Delay[0].Mean, q.MeanResponse()) > 0.05 {
+		t.Errorf("det-setup response %v, Welch predicts %g", res.Delay[0], q.MeanResponse())
+	}
+}
+
+func TestSleepPowerMatchesCycleAnalysis(t *testing.T) {
+	lam, setupMean, sleepW := 0.4, 1.0, 10.0
+	c := oneTier(1, 1, queueing.NonPreemptive,
+		[]cluster.Class{{Name: "a", Lambda: lam}},
+		[]queueing.Demand{{Work: 1, CV2: 1}})
+	// oneTier uses PowerLaw(100, 10, 2) at speed 1 → busy 110, idle 100.
+	res, err := Run(c, sleepOpts(setupMean, sleepW))
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, _ := queueing.NewMG1Setup(lam, queueing.NewExponential(1), queueing.NewExponential(setupMean))
+	want := q.SleepAveragePower(110, 110, sleepW)
+	if relErr(res.TotalPower.Mean, want) > 0.03 {
+		t.Errorf("sleep power %v, cycle analysis predicts %g", res.TotalPower, want)
+	}
+	// And sleeping must beat always-on at this light load with deep sleep.
+	resOn, err := Run(c, Options{Horizon: 60000, Replications: 5, Seed: 31})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(res.TotalPower.Mean < resOn.TotalPower.Mean) {
+		t.Errorf("sleep power %g not below always-on %g", res.TotalPower.Mean, resOn.TotalPower.Mean)
+	}
+}
+
+func TestSleepZeroTrafficDrawsSleepPower(t *testing.T) {
+	c := oneTier(3, 1, queueing.NonPreemptive,
+		[]cluster.Class{{Name: "a", Lambda: 0}},
+		[]queueing.Demand{{Work: 1, CV2: 1}})
+	res, err := Run(c, sleepOpts(1, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if relErr(res.TotalPower.Mean, 3*7) > 1e-9 {
+		t.Errorf("idle cluster draws %g W, want 21", res.TotalPower.Mean)
+	}
+}
+
+func TestSleepMultiServerThroughputConserved(t *testing.T) {
+	c := oneTier(3, 1, queueing.NonPreemptive,
+		[]cluster.Class{{Name: "a", Lambda: 1.8}},
+		[]queueing.Demand{{Work: 1, CV2: 1}})
+	o := sleepOpts(0.5, 5)
+	o.Horizon = 40000
+	res, err := Run(c, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	span := (o.Horizon - o.Horizon*0.1) * float64(res.Replications)
+	thr := float64(res.Completed[0]) / span
+	if relErr(thr, 1.8) > 0.03 {
+		t.Errorf("throughput %g, want 1.8", thr)
+	}
+	// Delay with sleep must exceed the always-on M/M/3 response.
+	mmc, _ := queueing.NewMMc(1.8, 1, 3)
+	if !(res.Delay[0].Mean > mmc.MeanResponse()) {
+		t.Errorf("sleep delay %g not above always-on %g", res.Delay[0].Mean, mmc.MeanResponse())
+	}
+}
+
+func TestSleepPriorityOrderingPreserved(t *testing.T) {
+	c := oneTier(1, 1, queueing.NonPreemptive,
+		[]cluster.Class{{Name: "hi", Lambda: 0.3}, {Name: "lo", Lambda: 0.3}},
+		[]queueing.Demand{{Work: 1, CV2: 1}, {Work: 1, CV2: 1}})
+	res, err := Run(c, sleepOpts(1, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(res.Delay[0].Mean < res.Delay[1].Mean) {
+		t.Errorf("priority lost under sleep: %g vs %g", res.Delay[0].Mean, res.Delay[1].Mean)
+	}
+}
+
+func TestSleepConfigValidation(t *testing.T) {
+	c := oneTier(1, 1, queueing.NonPreemptive,
+		[]cluster.Class{{Name: "a", Lambda: 0.5}},
+		[]queueing.Demand{{Work: 1, CV2: 1}})
+	if _, err := Run(c, Options{Horizon: 100, Sleep: []*SleepConfig{nil, nil}}); err == nil {
+		t.Error("tier-count mismatch accepted")
+	}
+	if _, err := Run(c, Options{Horizon: 100, Sleep: []*SleepConfig{{}}}); err == nil {
+		t.Error("missing setup distribution accepted")
+	}
+	if _, err := Run(c, Options{Horizon: 100,
+		Sleep: []*SleepConfig{{Setup: queueing.NewExponential(1), SleepPower: -1}}}); err == nil {
+		t.Error("negative sleep power accepted")
+	}
+	// nil entries disable sleep per tier.
+	pm, _ := power.NewPowerLaw(50, 5, 2)
+	c2 := &cluster.Cluster{
+		Tiers: []*cluster.Tier{
+			{Name: "a", Servers: 1, Speed: 2, Discipline: queueing.NonPreemptive, Power: pm,
+				Demands: []queueing.Demand{{Work: 1, CV2: 1}}},
+			{Name: "b", Servers: 1, Speed: 2, Discipline: queueing.NonPreemptive, Power: pm,
+				Demands: []queueing.Demand{{Work: 1, CV2: 1}}},
+		},
+		Classes: []cluster.Class{{Name: "x", Lambda: 0.5}},
+	}
+	if _, err := Run(c2, Options{Horizon: 2000, Replications: 1,
+		Sleep: []*SleepConfig{nil, {Setup: queueing.NewExponential(1), SleepPower: 0}}}); err != nil {
+		t.Fatalf("mixed sleep config rejected: %v", err)
+	}
+}

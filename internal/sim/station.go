@@ -1,0 +1,191 @@
+package sim
+
+import (
+	"clusterq/internal/power"
+	"clusterq/internal/queueing"
+	"clusterq/internal/stats"
+)
+
+// job is one request flowing through the network.
+type job struct {
+	id         uint64
+	class      int
+	arrival    float64 // external arrival time
+	routePos   int     // index into the class route (deterministic routing)
+	cur        int     // current station (probabilistic routing)
+	remaining  float64 // remaining WORK at the current station (preemption)
+	enqueued   float64 // time it joined the current station (wait accounting)
+	servedTime float64 // in-service time accumulated at the current station
+}
+
+// serviceRun is one (possibly preempted) service occupancy of a server.
+type serviceRun struct {
+	job       *job
+	start     float64 // when this run started
+	cancelled bool    // the departure event is stale (preempted)
+}
+
+// simStation is the runtime state of one tier.
+type simStation struct {
+	idx        int
+	servers    int
+	speed      float64
+	minSpeed   float64 // DVFS clamp for runtime controllers
+	maxSpeed   float64
+	discipline queueing.Discipline
+	pm         power.Model
+	samplers   []Sampler // per class: WORK distributions
+
+	queues  [][]*job      // per-class FIFO queues (priority order = index)
+	fifo    []*job        // single queue under FCFS
+	running []*serviceRun // active service runs, ≤ servers
+
+	// Sleep-state extension (instant-off policy): idle servers power down
+	// to sleepPower and pay a setup period (at busy power) to wake.
+	sleepEnabled bool
+	setupSampler Sampler
+	sleepPower   float64
+	settingUp    int // servers currently warming up
+
+	// measurement
+	busy      stats.TimeWeighted // number of busy servers over time
+	powerTW   stats.TimeWeighted // instantaneous power draw over time
+	epochBusy stats.TimeWeighted // busy servers since the last control epoch
+	waitByCls []*stats.Welford   // waiting time per class at this station
+	svcEnergy []float64          // dynamic energy per class (accumulated)
+	servedCls []int64            // completions per class
+}
+
+// instPower returns the station's instantaneous power at its current speed
+// and server states. Without sleep, non-busy servers idle; with sleep they
+// are either warming up (busy power, the standard assumption) or asleep.
+func (s *simStation) instPower() float64 {
+	b := float64(len(s.running))
+	if !s.sleepEnabled {
+		return b*s.pm.BusyPower(s.speed) + (float64(s.servers)-b)*s.pm.IdlePower(s.speed)
+	}
+	su := float64(s.settingUp)
+	sl := float64(s.servers) - b - su
+	return (b+su)*s.pm.BusyPower(s.speed) + sl*s.sleepPower
+}
+
+// sleepingServers returns the number of powered-down servers.
+func (s *simStation) sleepingServers() int {
+	return s.servers - len(s.running) - s.settingUp
+}
+
+// powerGap returns the busy/idle power difference at the current speed.
+func (s *simStation) powerGap() float64 {
+	return s.pm.BusyPower(s.speed) - s.pm.IdlePower(s.speed)
+}
+
+// bankSegment accounts the service segment of a run ending now: consumed
+// work, in-service time, and dynamic energy at the CURRENT speed (callers
+// must bank before changing the speed).
+func (s *simStation) bankSegment(run *serviceRun, now float64) {
+	seg := now - run.start
+	if seg <= 0 {
+		return
+	}
+	run.job.remaining -= seg * s.speed
+	if run.job.remaining < 0 {
+		run.job.remaining = 0
+	}
+	run.job.servedTime += seg
+	s.svcEnergy[run.job.class] += s.powerGap() * seg
+}
+
+func (s *simStation) freeServers() int { return s.servers - len(s.running) }
+
+// enqueue adds a job to the station's waiting line at time now.
+func (s *simStation) enqueue(j *job, now float64) {
+	j.enqueued = now
+	if s.discipline == queueing.FCFS {
+		s.fifo = append(s.fifo, j)
+	} else {
+		s.queues[j.class] = append(s.queues[j.class], j)
+	}
+}
+
+// nextWaiting pops the job that should be served next, or nil.
+func (s *simStation) nextWaiting() *job {
+	if s.discipline == queueing.FCFS {
+		if len(s.fifo) == 0 {
+			return nil
+		}
+		j := s.fifo[0]
+		s.fifo = s.fifo[1:]
+		return j
+	}
+	for k := range s.queues {
+		if len(s.queues[k]) > 0 {
+			j := s.queues[k][0]
+			s.queues[k] = s.queues[k][1:]
+			return j
+		}
+	}
+	return nil
+}
+
+// requeueFront puts a preempted job back at the head of its class queue so it
+// resumes before later arrivals of the same class.
+func (s *simStation) requeueFront(j *job) {
+	s.queues[j.class] = append([]*job{j}, s.queues[j.class]...)
+}
+
+// lowestPriorityRunning returns the run with the numerically largest class
+// index (lowest priority), or nil when no server is busy.
+func (s *simStation) lowestPriorityRunning() *serviceRun {
+	var worst *serviceRun
+	for _, r := range s.running {
+		if worst == nil || r.job.class > worst.job.class {
+			worst = r
+		}
+	}
+	return worst
+}
+
+// dropRun removes a run from the running set.
+func (s *simStation) dropRun(target *serviceRun) {
+	for i, r := range s.running {
+		if r == target {
+			s.running[i] = s.running[len(s.running)-1]
+			s.running = s.running[:len(s.running)-1]
+			return
+		}
+	}
+}
+
+// observeBusy records the current busy-server count and instantaneous power,
+// to be called after every change to the running set or the speed.
+func (s *simStation) observeBusy(now float64) {
+	b := float64(len(s.running))
+	s.busy.Observe(now, b)
+	s.epochBusy.Observe(now, b)
+	s.powerTW.Observe(now, s.instPower())
+}
+
+// queueLen returns the number of waiting (not in-service) jobs.
+func (s *simStation) queueLen() int {
+	if s.discipline == queueing.FCFS {
+		return len(s.fifo)
+	}
+	n := 0
+	for _, q := range s.queues {
+		n += len(q)
+	}
+	return n
+}
+
+// resetStats clears measurement state at the end of the warmup period.
+func (s *simStation) resetStats(now float64) {
+	for _, w := range s.waitByCls {
+		w.Reset()
+	}
+	for k := range s.svcEnergy {
+		s.svcEnergy[k] = 0
+		s.servedCls[k] = 0
+	}
+	s.busy.StartAt(now, float64(len(s.running)))
+	s.powerTW.StartAt(now, s.instPower())
+}

@@ -1,0 +1,50 @@
+package sim
+
+import (
+	"fmt"
+	"io"
+)
+
+// TraceHeader is the CSV header line of the event trace.
+const TraceHeader = "time,event,class,job,station,value"
+
+// traceWriter serializes simulator events as CSV rows. A nil traceWriter is
+// a no-op, keeping the hot path branch-cheap when tracing is off.
+type traceWriter struct {
+	w   io.Writer
+	err error
+}
+
+func newTraceWriter(w io.Writer) *traceWriter {
+	t := &traceWriter{w: w}
+	t.line("%s\n", TraceHeader)
+	return t
+}
+
+func (t *traceWriter) line(format string, args ...any) {
+	if t == nil || t.err != nil {
+		return
+	}
+	_, t.err = fmt.Fprintf(t.w, format, args...)
+}
+
+// event writes one row. station is -1 for network-level events; value is an
+// event-specific number (speed for retune, 0 otherwise).
+func (t *traceWriter) event(now float64, kind string, class int, jobID uint64, station int, value float64) {
+	if t == nil {
+		return
+	}
+	t.line("%.9g,%s,%d,%d,%d,%.9g\n", now, kind, class, jobID, station, value)
+}
+
+// Trace event kinds, written in the `event` column.
+const (
+	TraceArrival    = "arrival" // external arrival accepted
+	TraceStart      = "service_start"
+	TracePreempt    = "preempt"
+	TraceVisitEnd   = "visit_end"   // service at a station completed
+	TraceExit       = "exit"        // request left the system
+	TraceRetune     = "retune"      // controller changed a station's speed (value = new speed)
+	TraceSetupBegin = "setup_begin" // a sleeping server starts warming up
+	TraceSetupDone  = "setup_done"
+)

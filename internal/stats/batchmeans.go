@@ -1,0 +1,99 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// BatchMeans implements the method of (non-overlapping) batch means for
+// constructing confidence intervals on the steady-state mean of a correlated
+// output sequence, the standard technique for single-run discrete-event
+// simulation output analysis.
+//
+// Observations are grouped into fixed-size batches; batch averages are
+// treated as approximately i.i.d. normal and fed to a Student-t interval.
+type BatchMeans struct {
+	batchSize int64
+	cur       Welford // observations in the partially filled batch
+	batches   Welford // completed batch means
+	all       Welford // every observation, for the point estimate
+}
+
+// NewBatchMeans creates an analyzer with the given batch size (must be ≥ 1).
+func NewBatchMeans(batchSize int64) *BatchMeans {
+	if batchSize < 1 {
+		panic(fmt.Sprintf("stats: batch size %d < 1", batchSize))
+	}
+	return &BatchMeans{batchSize: batchSize}
+}
+
+// Add incorporates one observation.
+func (b *BatchMeans) Add(x float64) {
+	b.all.Add(x)
+	b.cur.Add(x)
+	if b.cur.Count() == b.batchSize {
+		b.batches.Add(b.cur.Mean())
+		b.cur.Reset()
+	}
+}
+
+// Count returns the total number of observations.
+func (b *BatchMeans) Count() int64 { return b.all.Count() }
+
+// Batches returns the number of completed batches.
+func (b *BatchMeans) Batches() int64 { return b.batches.Count() }
+
+// Mean returns the grand mean over all observations.
+func (b *BatchMeans) Mean() float64 { return b.all.Mean() }
+
+// CI returns the half-width of a Student-t confidence interval at the given
+// level, computed from the completed batch means. It returns NaN when fewer
+// than two batches have completed.
+func (b *BatchMeans) CI(level float64) float64 {
+	return b.batches.CI(level)
+}
+
+// RelativePrecision returns CI(level)/|Mean|, the relative half-width, or
+// +Inf when the mean is zero. Useful as a sequential stopping criterion.
+func (b *BatchMeans) RelativePrecision(level float64) float64 {
+	m := b.Mean()
+	if m == 0 {
+		return math.Inf(1)
+	}
+	return b.CI(level) / math.Abs(m)
+}
+
+// Estimate bundles a point estimate with a confidence half-width, as produced
+// by simulation replications or batch means.
+type Estimate struct {
+	Mean    float64 // point estimate
+	HalfW   float64 // confidence half-width (NaN if not available)
+	Level   float64 // confidence level the half-width corresponds to
+	Samples int64   // observations behind the estimate
+	Batches int64   // batches or replications behind the half-width
+}
+
+// Contains reports whether v lies within the confidence interval. It returns
+// true when no half-width is available, so callers can use it as a soft check.
+func (e Estimate) Contains(v float64) bool {
+	if math.IsNaN(e.HalfW) {
+		return true
+	}
+	return v >= e.Mean-e.HalfW && v <= e.Mean+e.HalfW
+}
+
+// RelErr returns |Mean-v|/|v| (relative error against a reference value v),
+// or the absolute error when v == 0.
+func (e Estimate) RelErr(v float64) float64 {
+	if v == 0 {
+		return math.Abs(e.Mean)
+	}
+	return math.Abs(e.Mean-v) / math.Abs(v)
+}
+
+func (e Estimate) String() string {
+	if math.IsNaN(e.HalfW) {
+		return fmt.Sprintf("%.6g (n=%d)", e.Mean, e.Samples)
+	}
+	return fmt.Sprintf("%.6g ± %.3g (%d%%, n=%d)", e.Mean, e.HalfW, int(e.Level*100), e.Samples)
+}

@@ -1,0 +1,127 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Histogram is a fixed-bin histogram over [lo, hi) with overflow and
+// underflow counters, used for distribution-shape diagnostics of simulated
+// delays and energies.
+type Histogram struct {
+	lo, hi  float64
+	width   float64
+	bins    []int64
+	under   int64
+	over    int64
+	total   int64
+	moments Welford
+}
+
+// NewHistogram creates a histogram with n equal bins spanning [lo, hi).
+func NewHistogram(lo, hi float64, n int) *Histogram {
+	if n < 1 || !(hi > lo) {
+		panic(fmt.Sprintf("stats: invalid histogram spec [%g,%g) n=%d", lo, hi, n))
+	}
+	return &Histogram{lo: lo, hi: hi, width: (hi - lo) / float64(n), bins: make([]int64, n)}
+}
+
+// Add incorporates one observation.
+func (h *Histogram) Add(x float64) {
+	h.total++
+	h.moments.Add(x)
+	switch {
+	case x < h.lo:
+		h.under++
+	case x >= h.hi:
+		h.over++
+	default:
+		i := int((x - h.lo) / h.width)
+		if i >= len(h.bins) { // guard against floating-point edge
+			i = len(h.bins) - 1
+		}
+		h.bins[i]++
+	}
+}
+
+// Count returns the total number of observations, including out-of-range.
+func (h *Histogram) Count() int64 { return h.total }
+
+// Bin returns the count in bin i.
+func (h *Histogram) Bin(i int) int64 { return h.bins[i] }
+
+// NumBins returns the number of bins.
+func (h *Histogram) NumBins() int { return len(h.bins) }
+
+// BinCenter returns the midpoint of bin i.
+func (h *Histogram) BinCenter(i int) float64 {
+	return h.lo + (float64(i)+0.5)*h.width
+}
+
+// Underflow and Overflow return the out-of-range counts.
+func (h *Histogram) Underflow() int64 { return h.under }
+func (h *Histogram) Overflow() int64  { return h.over }
+
+// Mean returns the exact (not binned) mean of all observations.
+func (h *Histogram) Mean() float64 { return h.moments.Mean() }
+
+// CDFAt returns the empirical fraction of observations ≤ x, resolved at bin
+// granularity (observations inside the bin containing x are counted
+// proportionally by position).
+func (h *Histogram) CDFAt(x float64) float64 {
+	if h.total == 0 {
+		return math.NaN()
+	}
+	if x < h.lo {
+		return float64(h.under) / float64(h.total) // approximation: underflow mass below lo
+	}
+	cum := h.under
+	if x >= h.hi {
+		for _, c := range h.bins {
+			cum += c
+		}
+		if x >= h.moments.Max() {
+			return 1
+		}
+		return float64(cum) / float64(h.total)
+	}
+	i := int((x - h.lo) / h.width)
+	if i >= len(h.bins) {
+		i = len(h.bins) - 1
+	}
+	for j := 0; j < i; j++ {
+		cum += h.bins[j]
+	}
+	frac := (x - (h.lo + float64(i)*h.width)) / h.width
+	return (float64(cum) + frac*float64(h.bins[i])) / float64(h.total)
+}
+
+// Sketch renders a compact ASCII bar chart, useful in CLI diagnostics.
+func (h *Histogram) Sketch(rows int) string {
+	if rows <= 0 {
+		rows = len(h.bins)
+	}
+	var maxC int64 = 1
+	for _, c := range h.bins {
+		if c > maxC {
+			maxC = c
+		}
+	}
+	// Re-bin into at most `rows` rows.
+	per := (len(h.bins) + rows - 1) / rows
+	var sb strings.Builder
+	for i := 0; i < len(h.bins); i += per {
+		var c int64
+		end := i + per
+		if end > len(h.bins) {
+			end = len(h.bins)
+		}
+		for j := i; j < end; j++ {
+			c += h.bins[j]
+		}
+		bar := int(40 * float64(c) / float64(maxC*int64(per)))
+		fmt.Fprintf(&sb, "%10.4g |%s %d\n", h.lo+float64(i)*h.width, strings.Repeat("#", bar), c)
+	}
+	return sb.String()
+}

@@ -1,0 +1,202 @@
+package stats
+
+import "math"
+
+// This file implements the special functions needed for Student-t confidence
+// intervals and goodness-of-fit checks: the regularized incomplete beta
+// function (via Lentz's continued-fraction algorithm) and quantile functions
+// for the normal and Student-t distributions.
+
+// logBeta returns ln B(a, b) = ln Γ(a) + ln Γ(b) − ln Γ(a+b).
+func logBeta(a, b float64) float64 {
+	la, _ := math.Lgamma(a)
+	lb, _ := math.Lgamma(b)
+	lab, _ := math.Lgamma(a + b)
+	return la + lb - lab
+}
+
+// RegIncBeta returns the regularized incomplete beta function I_x(a, b) for
+// a, b > 0 and x in [0, 1], computed with the continued-fraction expansion
+// (Numerical Recipes-style modified Lentz algorithm).
+func RegIncBeta(a, b, x float64) float64 {
+	switch {
+	case x <= 0:
+		return 0
+	case x >= 1:
+		return 1
+	case a <= 0 || b <= 0:
+		return math.NaN()
+	}
+	// Use the symmetry relation to keep the continued fraction convergent.
+	if x > (a+1)/(a+b+2) {
+		return 1 - RegIncBeta(b, a, 1-x)
+	}
+	lnFront := a*math.Log(x) + b*math.Log(1-x) - logBeta(a, b)
+	front := math.Exp(lnFront) / a
+	return front * betaCF(a, b, x)
+}
+
+// betaCF evaluates the continued fraction for the incomplete beta function.
+func betaCF(a, b, x float64) float64 {
+	const (
+		maxIter = 300
+		eps     = 3e-15
+		tiny    = 1e-300
+	)
+	qab := a + b
+	qap := a + 1
+	qam := a - 1
+	c := 1.0
+	d := 1 - qab*x/qap
+	if math.Abs(d) < tiny {
+		d = tiny
+	}
+	d = 1 / d
+	h := d
+	for m := 1; m <= maxIter; m++ {
+		fm := float64(m)
+		m2 := 2 * fm
+		// Even step.
+		aa := fm * (b - fm) * x / ((qam + m2) * (a + m2))
+		d = 1 + aa*d
+		if math.Abs(d) < tiny {
+			d = tiny
+		}
+		c = 1 + aa/c
+		if math.Abs(c) < tiny {
+			c = tiny
+		}
+		d = 1 / d
+		h *= d * c
+		// Odd step.
+		aa = -(a + fm) * (qab + fm) * x / ((a + m2) * (qap + m2))
+		d = 1 + aa*d
+		if math.Abs(d) < tiny {
+			d = tiny
+		}
+		c = 1 + aa/c
+		if math.Abs(c) < tiny {
+			c = tiny
+		}
+		d = 1 / d
+		del := d * c
+		h *= del
+		if math.Abs(del-1) < eps {
+			return h
+		}
+	}
+	return h // converged to working precision or exhausted iterations
+}
+
+// NormalCDF returns the standard normal cumulative distribution Φ(x).
+func NormalCDF(x float64) float64 {
+	return 0.5 * math.Erfc(-x/math.Sqrt2)
+}
+
+// NormalQuantile returns Φ⁻¹(p) for p in (0, 1) using the Acklam rational
+// approximation refined with one Halley step, accurate to ~1e-15.
+func NormalQuantile(p float64) float64 {
+	if p <= 0 {
+		return math.Inf(-1)
+	}
+	if p >= 1 {
+		return math.Inf(1)
+	}
+	// Acklam coefficients.
+	a := [6]float64{-3.969683028665376e+01, 2.209460984245205e+02,
+		-2.759285104469687e+02, 1.383577518672690e+02,
+		-3.066479806614716e+01, 2.506628277459239e+00}
+	b := [5]float64{-5.447609879822406e+01, 1.615858368580409e+02,
+		-1.556989798598866e+02, 6.680131188771972e+01,
+		-1.328068155288572e+01}
+	c := [6]float64{-7.784894002430293e-03, -3.223964580411365e-01,
+		-2.400758277161838e+00, -2.549732539343734e+00,
+		4.374664141464968e+00, 2.938163982698783e+00}
+	d := [4]float64{7.784695709041462e-03, 3.224671290700398e-01,
+		2.445134137142996e+00, 3.754408661907416e+00}
+	const pLow = 0.02425
+	var x float64
+	switch {
+	case p < pLow:
+		q := math.Sqrt(-2 * math.Log(p))
+		x = (((((c[0]*q+c[1])*q+c[2])*q+c[3])*q+c[4])*q + c[5]) /
+			((((d[0]*q+d[1])*q+d[2])*q+d[3])*q + 1)
+	case p <= 1-pLow:
+		q := p - 0.5
+		r := q * q
+		x = (((((a[0]*r+a[1])*r+a[2])*r+a[3])*r+a[4])*r + a[5]) * q /
+			(((((b[0]*r+b[1])*r+b[2])*r+b[3])*r+b[4])*r + 1)
+	default:
+		q := math.Sqrt(-2 * math.Log(1-p))
+		x = -(((((c[0]*q+c[1])*q+c[2])*q+c[3])*q+c[4])*q + c[5]) /
+			((((d[0]*q+d[1])*q+d[2])*q+d[3])*q + 1)
+	}
+	// One Halley refinement step.
+	e := NormalCDF(x) - p
+	u := e * math.Sqrt(2*math.Pi) * math.Exp(x*x/2)
+	x -= u / (1 + x*u/2)
+	return x
+}
+
+// TCDF returns the cumulative distribution of the Student-t distribution with
+// df degrees of freedom at x.
+func TCDF(x, df float64) float64 {
+	if df <= 0 {
+		return math.NaN()
+	}
+	if x == 0 {
+		return 0.5
+	}
+	ib := RegIncBeta(df/2, 0.5, df/(df+x*x))
+	if x > 0 {
+		return 1 - ib/2
+	}
+	return ib / 2
+}
+
+// TQuantile returns the inverse CDF of the Student-t distribution with df
+// degrees of freedom at probability p in (0, 1). It starts from the normal
+// quantile with a Cornish-Fisher correction and polishes with Newton steps
+// on TCDF.
+func TQuantile(p, df float64) float64 {
+	if df <= 0 || p <= 0 || p >= 1 {
+		if p == 0.5 {
+			return 0
+		}
+		return math.NaN()
+	}
+	if p == 0.5 {
+		return 0
+	}
+	// For large df the t distribution is essentially normal.
+	z := NormalQuantile(p)
+	x := z
+	if df < 1e7 {
+		// Cornish-Fisher expansion starting point.
+		g1 := (z*z*z + z) / 4
+		g2 := (5*z*z*z*z*z + 16*z*z*z + 3*z) / 96
+		x = z + g1/df + g2/(df*df)
+	}
+	// Newton iterations: f(x) = TCDF(x) - p, f'(x) = t pdf.
+	for i := 0; i < 50; i++ {
+		f := TCDF(x, df) - p
+		pdf := tPDF(x, df)
+		if pdf == 0 {
+			break
+		}
+		step := f / pdf
+		x -= step
+		if math.Abs(step) < 1e-12*(1+math.Abs(x)) {
+			break
+		}
+	}
+	return x
+}
+
+// tPDF returns the Student-t density with df degrees of freedom at x.
+func tPDF(x, df float64) float64 {
+	lg1, _ := math.Lgamma((df + 1) / 2)
+	lg2, _ := math.Lgamma(df / 2)
+	lc := lg1 - lg2 - 0.5*math.Log(df*math.Pi)
+	return math.Exp(lc - (df+1)/2*math.Log1p(x*x/df))
+}

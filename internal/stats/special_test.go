@@ -1,0 +1,143 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRegIncBetaBoundaries(t *testing.T) {
+	if got := RegIncBeta(2, 3, 0); got != 0 {
+		t.Errorf("I_0 = %g, want 0", got)
+	}
+	if got := RegIncBeta(2, 3, 1); got != 1 {
+		t.Errorf("I_1 = %g, want 1", got)
+	}
+	if !math.IsNaN(RegIncBeta(-1, 2, 0.5)) {
+		t.Error("negative parameter should return NaN")
+	}
+}
+
+func TestRegIncBetaUniformCase(t *testing.T) {
+	// I_x(1, 1) = x (uniform distribution).
+	for _, x := range []float64{0.1, 0.25, 0.5, 0.9} {
+		if got := RegIncBeta(1, 1, x); !almostEq(got, x, 1e-12) {
+			t.Errorf("I_%g(1,1) = %g", x, got)
+		}
+	}
+}
+
+func TestRegIncBetaClosedForms(t *testing.T) {
+	// I_x(a, 1) = x^a and I_x(1, b) = 1-(1-x)^b.
+	for _, x := range []float64{0.2, 0.5, 0.8} {
+		for _, a := range []float64{0.5, 2, 5} {
+			if got, want := RegIncBeta(a, 1, x), math.Pow(x, a); !almostEq(got, want, 1e-10) {
+				t.Errorf("I_%g(%g,1) = %g, want %g", x, a, got, want)
+			}
+			if got, want := RegIncBeta(1, a, x), 1-math.Pow(1-x, a); !almostEq(got, want, 1e-10) {
+				t.Errorf("I_%g(1,%g) = %g, want %g", x, a, got, want)
+			}
+		}
+	}
+}
+
+func TestRegIncBetaSymmetry(t *testing.T) {
+	f := func(a, b, x float64) bool {
+		a = 0.5 + math.Mod(math.Abs(a), 10)
+		b = 0.5 + math.Mod(math.Abs(b), 10)
+		x = math.Mod(math.Abs(x), 1)
+		if math.IsNaN(a) || math.IsNaN(b) || math.IsNaN(x) {
+			return true
+		}
+		lhs := RegIncBeta(a, b, x)
+		rhs := 1 - RegIncBeta(b, a, 1-x)
+		return almostEq(lhs, rhs, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNormalQuantileKnownValues(t *testing.T) {
+	cases := map[float64]float64{
+		0.5:    0,
+		0.975:  1.959963984540054,
+		0.995:  2.5758293035489004,
+		0.8413: 0.99982,
+		0.025:  -1.959963984540054,
+	}
+	for p, want := range cases {
+		if got := NormalQuantile(p); !almostEq(got, want, 1e-4) {
+			t.Errorf("Φ⁻¹(%g) = %g, want %g", p, got, want)
+		}
+	}
+	if !math.IsInf(NormalQuantile(0), -1) || !math.IsInf(NormalQuantile(1), 1) {
+		t.Error("quantile at 0/1 should be ±Inf")
+	}
+}
+
+func TestNormalRoundTrip(t *testing.T) {
+	for _, x := range []float64{-3, -1.5, -0.1, 0, 0.7, 2.2, 4} {
+		if got := NormalQuantile(NormalCDF(x)); !almostEq(got, x, 1e-9) {
+			t.Errorf("round trip at %g gave %g", x, got)
+		}
+	}
+}
+
+func TestTCDFSymmetryAndCenter(t *testing.T) {
+	for _, df := range []float64{1, 3, 10, 100} {
+		if got := TCDF(0, df); !almostEq(got, 0.5, 1e-12) {
+			t.Errorf("TCDF(0, %g) = %g", df, got)
+		}
+		for _, x := range []float64{0.5, 1.3, 2.7} {
+			l, r := TCDF(-x, df), TCDF(x, df)
+			if !almostEq(l+r, 1, 1e-10) {
+				t.Errorf("TCDF symmetry broken at x=%g df=%g: %g + %g", x, df, l, r)
+			}
+		}
+	}
+}
+
+func TestTCDFCauchyCase(t *testing.T) {
+	// df=1 is the Cauchy distribution: F(x) = 1/2 + atan(x)/π.
+	for _, x := range []float64{-2, -0.5, 0.3, 1.7} {
+		want := 0.5 + math.Atan(x)/math.Pi
+		if got := TCDF(x, 1); !almostEq(got, want, 1e-10) {
+			t.Errorf("TCDF(%g, 1) = %g, want %g", x, got, want)
+		}
+	}
+}
+
+func TestTQuantileKnownValues(t *testing.T) {
+	// Standard t-table values, two-sided 95% (p = 0.975).
+	cases := []struct {
+		df, want float64
+	}{
+		{1, 12.706}, {2, 4.303}, {5, 2.571}, {10, 2.228},
+		{30, 2.042}, {100, 1.984}, {1000, 1.962},
+	}
+	for _, c := range cases {
+		if got := TQuantile(0.975, c.df); !almostEq(got, c.want, 2e-3) {
+			t.Errorf("t(0.975, df=%g) = %g, want %g", c.df, got, c.want)
+		}
+	}
+}
+
+func TestTQuantileRoundTrip(t *testing.T) {
+	for _, df := range []float64{2, 7, 25} {
+		for _, p := range []float64{0.6, 0.9, 0.975, 0.999, 0.1} {
+			x := TQuantile(p, df)
+			if got := TCDF(x, df); !almostEq(got, p, 1e-8) {
+				t.Errorf("round trip p=%g df=%g: CDF(%g) = %g", p, df, x, got)
+			}
+		}
+	}
+}
+
+func TestTQuantileApproachesNormal(t *testing.T) {
+	z := NormalQuantile(0.975)
+	tq := TQuantile(0.975, 1e6)
+	if !almostEq(z, tq, 1e-4) {
+		t.Errorf("large-df t quantile %g should approach normal %g", tq, z)
+	}
+}
