@@ -24,6 +24,8 @@ package clusterq
 import (
 	"clusterq/internal/cluster"
 	"clusterq/internal/core"
+	"clusterq/internal/obs"
+	"clusterq/internal/opt"
 	"clusterq/internal/power"
 	"clusterq/internal/queueing"
 	"clusterq/internal/sim"
@@ -94,6 +96,33 @@ type (
 	UtilizationPolicy = sim.UtilizationPolicy
 	// SleepConfig enables the instant-off sleep policy on a tier.
 	SleepConfig = sim.SleepConfig
+)
+
+// Observability types (see the "Observability" section in README.md).
+type (
+	// SimProbe attaches periodic time-series sampling and event counters
+	// to a simulation via SimOptions.Probe.
+	SimProbe = sim.Probe
+	// Timeline is a sampled multi-series time series (queue lengths,
+	// utilization, power, in-flight counts) recorded by a SimProbe.
+	Timeline = obs.Timeline
+	// MetricRegistry collects named counters, gauges and histograms and
+	// exposes them as JSON or Prometheus text.
+	MetricRegistry = obs.Registry
+	// MetricSnapshot is one metric's point-in-time value as exposed by
+	// MetricRegistry.Snapshot and WriteJSON.
+	MetricSnapshot = obs.Snapshot
+	// SolverTraceEntry is one point of an optimizer's convergence trace
+	// (Solution.Result.Trace).
+	SolverTraceEntry = opt.TraceEntry
+)
+
+// Observability constructors.
+var (
+	// NewMetricRegistry creates an empty metric registry.
+	NewMetricRegistry = obs.NewRegistry
+	// NewTimeline creates a standalone timeline with the given series.
+	NewTimeline = obs.NewTimeline
 )
 
 // Time-varying arrival profile constructors (dynamic extension).

@@ -9,6 +9,8 @@
 //	clusterq -run all              # run the full suite
 //	clusterq -run E5 -quick        # reduced fidelity (seconds, not minutes)
 //	clusterq -run all -csv out/    # also write one CSV per table
+//	clusterq -run all -progress    # experiment heartbeat on stderr
+//	clusterq -run all -metrics-out m.prom   # per-experiment wall-time metrics
 package main
 
 import (
@@ -18,18 +20,23 @@ import (
 	"path/filepath"
 	"strings"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"clusterq/internal/experiments"
+	"clusterq/internal/obs"
 )
 
 func main() {
 	var (
-		list     = flag.Bool("list", false, "list experiments and exit")
-		run      = flag.String("run", "", "experiment id to run (e.g. E1), or 'all'")
-		quick    = flag.Bool("quick", false, "reduced simulation fidelity for fast runs")
-		csvDir   = flag.String("csv", "", "directory to write per-table CSV files into")
-		seed     = flag.Uint64("seed", 0, "seed offset for all simulations")
-		parallel = flag.Bool("parallel", false, "run independent experiments concurrently (wall-time figures in E9/E17 will be inflated)")
+		list       = flag.Bool("list", false, "list experiments and exit")
+		run        = flag.String("run", "", "experiment id to run (e.g. E1), or 'all'")
+		quick      = flag.Bool("quick", false, "reduced simulation fidelity for fast runs")
+		csvDir     = flag.String("csv", "", "directory to write per-table CSV files into")
+		seed       = flag.Uint64("seed", 0, "seed offset for all simulations")
+		parallel   = flag.Bool("parallel", false, "run independent experiments concurrently (wall-time figures in E9/E17 will be inflated)")
+		progress   = flag.Bool("progress", false, "print a periodic experiment-progress heartbeat to stderr")
+		metricsOut = flag.String("metrics-out", "", "write per-experiment wall-time metrics to this file (.prom/.txt for Prometheus text, else JSON)")
 	)
 	flag.Parse()
 
@@ -58,36 +65,63 @@ func main() {
 
 	cfg := experiments.Config{Quick: *quick, Seed: *seed}
 
+	reg := obs.NewRegistry()
+	var completed atomic.Int64
+	start := time.Now()
+	if *progress {
+		ticker := time.NewTicker(5 * time.Second)
+		defer ticker.Stop()
+		go func() {
+			for range ticker.C {
+				fmt.Fprintf(os.Stderr, "clusterq: progress %d/%d experiments (elapsed %s)\n",
+					completed.Load(), len(toRun), time.Since(start).Round(time.Second))
+			}
+		}()
+	}
+
 	// Experiments are independent; with -parallel they run concurrently
 	// and print in index order once all inputs are ready.
 	type outcome struct {
-		tables []*experiments.Table
-		err    error
+		tables  []*experiments.Table
+		err     error
+		elapsed time.Duration
 	}
 	results := make([]outcome, len(toRun))
+	runOne := func(i int, e experiments.Experiment) {
+		t0 := time.Now()
+		t, err := e.Run(cfg)
+		results[i] = outcome{tables: t, err: err, elapsed: time.Since(t0)}
+		n := completed.Add(1)
+		if *progress {
+			fmt.Fprintf(os.Stderr, "clusterq: %s done in %s (%d/%d)\n",
+				e.ID(), results[i].elapsed.Round(time.Millisecond), n, len(toRun))
+		}
+	}
 	if *parallel {
 		var wg sync.WaitGroup
 		for i, e := range toRun {
 			wg.Add(1)
 			go func(i int, e experiments.Experiment) {
 				defer wg.Done()
-				t, err := e.Run(cfg)
-				results[i] = outcome{tables: t, err: err}
+				runOne(i, e)
 			}(i, e)
 		}
 		wg.Wait()
 	} else {
 		for i, e := range toRun {
-			t, err := e.Run(cfg)
-			results[i] = outcome{tables: t, err: err}
+			runOne(i, e)
 		}
 	}
 
+	var tables int64
 	for i, e := range toRun {
 		if results[i].err != nil {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", e.ID(), results[i].err)
 			os.Exit(1)
 		}
+		reg.Gauge("clusterq_"+strings.ToLower(e.ID())+"_seconds",
+			"wall time of "+e.ID()).Set(results[i].elapsed.Seconds())
+		tables += int64(len(results[i].tables))
 		fmt.Printf("=== %s: %s ===\n\n", e.ID(), e.Title())
 		for ti, t := range results[i].tables {
 			if err := t.WriteASCII(os.Stdout); err != nil {
@@ -103,6 +137,35 @@ func main() {
 			}
 		}
 	}
+
+	if *metricsOut != "" {
+		reg.Counter("clusterq_experiments_total", "experiments completed").Add(completed.Load())
+		reg.Counter("clusterq_tables_total", "tables produced").Add(tables)
+		reg.Gauge("clusterq_wall_seconds", "total suite wall time").Set(time.Since(start).Seconds())
+		if err := writeMetrics(*metricsOut, reg); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+}
+
+// writeMetrics writes the registry to path, choosing the exposition format
+// by extension (.prom/.txt → Prometheus text, anything else → JSON).
+func writeMetrics(path string, reg *obs.Registry) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if strings.HasSuffix(path, ".prom") || strings.HasSuffix(path, ".txt") {
+		err = reg.WritePrometheus(f)
+	} else {
+		err = reg.WriteJSON(f)
+	}
+	if err != nil {
+		return err
+	}
+	return f.Close()
 }
 
 func writeCSV(dir, id string, idx int, t *experiments.Table) error {

@@ -8,6 +8,11 @@
 //	       [-swing 0.5 -period 5000]      # diurnal sinusoidal load
 //	       [-reactive 0.7 -epoch 20]      # runtime DVFS controller
 //	       [-sleep 2.0 -sleep-watts 20]   # instant-off sleep on every tier
+//	       [-sample-period 10]            # probe: sample queues/util/power
+//	       [-metrics-out m.json]          # metric exposition (.prom for Prometheus text)
+//	       [-timeline-out tl.csv]         # sampled time series as CSV
+//	       [-progress]                    # periodic replication heartbeat on stderr
+//	       [-cpuprofile cpu.pb.gz -memprofile mem.pb.gz]  # pprof hooks
 //
 // The dynamic flags desynchronize the run from the stationary analytical
 // model on purpose: the analytic columns then show what the static model
@@ -16,11 +21,18 @@ package main
 
 import (
 	"bufio"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
+	"strings"
+	"sync/atomic"
+	"time"
 
 	"clusterq/internal/cluster"
+	"clusterq/internal/obs"
 	"clusterq/internal/queueing"
 	"clusterq/internal/sim"
 )
@@ -43,6 +55,13 @@ func main() {
 		sleepWatts = flag.Float64("sleep-watts", 0, "per-server power while asleep (with -sleep)")
 
 		tracePath = flag.String("trace", "", "write a CSV event trace to this file (forces 1 replication)")
+
+		samplePeriod = flag.Float64("sample-period", 0, "probe sampling period in simulated seconds (0 disables the probe)")
+		metricsOut   = flag.String("metrics-out", "", "write metrics to this file (.prom/.txt for Prometheus text, else JSON)")
+		timelineOut  = flag.String("timeline-out", "", "write the probe's sampled time series to this CSV file (requires -sample-period)")
+		progress     = flag.Bool("progress", false, "print a periodic replication-progress heartbeat to stderr")
+		cpuprofile   = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+		memprofile   = flag.String("memprofile", "", "write a pprof heap profile to this file")
 	)
 	flag.Parse()
 	if *path == "" {
@@ -61,9 +80,52 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
 	opts := sim.Options{Horizon: *horizon, Replications: *reps, Seed: *seed}
 	if *q > 0 && *q < 1 {
 		opts.Quantiles = []float64{*q}
+	}
+
+	// Observability: a positive sampling period (or any metrics request)
+	// attaches the probe; the registry collects event counters and run
+	// gauges for the exposition file.
+	var reg *obs.Registry
+	if *samplePeriod < 0 {
+		fatal(fmt.Errorf("-sample-period must be positive, got %g", *samplePeriod))
+	}
+	if *samplePeriod > 0 || *metricsOut != "" {
+		reg = obs.NewRegistry()
+		period := *samplePeriod
+		if period <= 0 {
+			period = *horizon / 200 // a sane default trajectory resolution
+		}
+		opts.Probe = &sim.Probe{Period: period, Registry: reg}
+	} else if *timelineOut != "" {
+		fatal(fmt.Errorf("-timeline-out requires -sample-period"))
+	}
+
+	var progressDone atomic.Int64
+	if *progress {
+		opts.Progress = func(done, total int) { progressDone.Store(int64(done)) }
+		start := time.Now()
+		ticker := time.NewTicker(2 * time.Second)
+		defer ticker.Stop()
+		go func() {
+			for range ticker.C {
+				fmt.Fprintf(os.Stderr, "simrun: progress %d/%d replications (elapsed %s)\n",
+					progressDone.Load(), *reps, time.Since(start).Round(time.Second))
+			}
+		}()
 	}
 	if *tracePath != "" {
 		f, err := os.Create(*tracePath)
@@ -140,6 +202,96 @@ func main() {
 		fmt.Printf("  %-10s model %8.4g   sim %8.4g ±%.3g\n",
 			cl.Name, m.EnergyPerRequest[k], res.EnergyPerRequest[k].Mean, res.EnergyPerRequest[k].HalfW)
 	}
+
+	if tl := res.Timeline; tl != nil {
+		fmt.Printf("\nprobe: %d samples every %.4g s across %d series\n",
+			tl.Len(), opts.Probe.Period, len(tl.Names()))
+		for j, tr := range res.Tiers {
+			name := fmt.Sprintf("tier%d_util", j)
+			fmt.Printf("  %-10s time-avg util %.1f%%  peak queue %.0f\n",
+				tr.Name, 100*tl.Mean(name), tl.Max(fmt.Sprintf("tier%d_queue", j)))
+		}
+	}
+	if *timelineOut != "" {
+		f, err := os.Create(*timelineOut)
+		if err != nil {
+			fatal(err)
+		}
+		if err := res.Timeline.WriteCSV(f); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("timeline written to %s\n", *timelineOut)
+	}
+	if *metricsOut != "" {
+		// Fold the headline measurements into the registry next to the
+		// event counters the probe already published.
+		for j, tr := range res.Tiers {
+			reg.Gauge(fmt.Sprintf("sim_tier%d_utilization", j), "measured busy fraction per server").Set(tr.Utilization.Mean)
+			reg.Gauge(fmt.Sprintf("sim_tier%d_power_watts", j), "measured tier average power").Set(tr.Power.Mean)
+		}
+		for k := range c.Classes {
+			reg.Gauge(fmt.Sprintf("sim_class%d_delay_seconds", k), "measured mean end-to-end delay").Set(res.Delay[k].Mean)
+		}
+		if err := writeMetrics(*metricsOut, reg, res.Timeline); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("metrics written to %s\n", *metricsOut)
+	}
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			fatal(err)
+		}
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+// writeMetrics writes the registry to path: Prometheus text when the
+// extension says so, otherwise JSON with the timeline (if any) embedded as a
+// second top-level section.
+func writeMetrics(path string, reg *obs.Registry, tl *obs.Timeline) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := bufio.NewWriter(f)
+	if strings.HasSuffix(path, ".prom") || strings.HasSuffix(path, ".txt") {
+		// Prometheus text is a point-in-time format: the timeline stays in
+		// -timeline-out CSV territory.
+		err = reg.WritePrometheus(w)
+	} else {
+		err = writeMetricsJSON(w, reg, tl)
+	}
+	if err != nil {
+		return err
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+func writeMetricsJSON(w *bufio.Writer, reg *obs.Registry, tl *obs.Timeline) error {
+	if tl == nil {
+		return reg.WriteJSON(w)
+	}
+	doc := struct {
+		Metrics  []obs.Snapshot `json:"metrics"`
+		Timeline *obs.Timeline  `json:"timeline"`
+	}{Metrics: reg.Snapshot(), Timeline: tl}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
 }
 
 func fatal(err error) {

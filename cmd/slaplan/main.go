@@ -7,15 +7,20 @@
 // Usage:
 //
 //	slaplan -config cluster.json [-baselines] [-max-servers 64]
+//	        [-progress]              # phase/timing heartbeat on stderr
+//	        [-metrics-out m.json]    # solver metrics (.prom for Prometheus text)
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
+	"time"
 
 	"clusterq/internal/cluster"
 	"clusterq/internal/core"
+	"clusterq/internal/obs"
 )
 
 func main() {
@@ -23,6 +28,8 @@ func main() {
 		path       = flag.String("config", "", "JSON cluster config (required)")
 		baselines  = flag.Bool("baselines", false, "also size with the uniform and proportional baselines")
 		maxServers = flag.Int("max-servers", 64, "server cap per tier")
+		progress   = flag.Bool("progress", false, "print solver phase progress to stderr")
+		metricsOut = flag.String("metrics-out", "", "write solver metrics to this file (.prom/.txt for Prometheus text, else JSON)")
 	)
 	flag.Parse()
 	if *path == "" {
@@ -38,27 +45,88 @@ func main() {
 		fatal(err)
 	}
 
+	reg := obs.NewRegistry()
+	phase := func(name string) func() {
+		start := time.Now()
+		if *progress {
+			fmt.Fprintf(os.Stderr, "slaplan: %s...\n", name)
+		}
+		return func() {
+			d := time.Since(start)
+			reg.Gauge("slaplan_"+name+"_seconds", "wall time of the "+name+" phase").Set(d.Seconds())
+			if *progress {
+				fmt.Fprintf(os.Stderr, "slaplan: %s done in %s\n", name, d.Round(time.Millisecond))
+			}
+		}
+	}
+
+	finish := phase("mincost")
 	sol, err := core.MinimizeCost(c, core.CostOptions{MaxServersPerTier: *maxServers})
+	finish()
 	if err != nil {
 		fatal(err)
 	}
 	fmt.Println("== min-cost allocation (C4) ==")
 	printAllocation(sol)
+	recordSolution(reg, "mincost", sol)
 
 	if *baselines {
+		finish = phase("uniform_baseline")
+		b, err := core.UniformCostBaseline(c, *maxServers)
+		finish()
 		fmt.Println("\n== uniform baseline ==")
-		if b, err := core.UniformCostBaseline(c, *maxServers); err != nil {
+		if err != nil {
 			fmt.Println("infeasible:", err)
 		} else {
 			printAllocation(b)
+			recordSolution(reg, "uniform", b)
 		}
+		finish = phase("proportional_baseline")
+		b, err = core.ProportionalCostBaseline(c, *maxServers)
+		finish()
 		fmt.Println("\n== proportional baseline ==")
-		if b, err := core.ProportionalCostBaseline(c, *maxServers); err != nil {
+		if err != nil {
 			fmt.Println("infeasible:", err)
 		} else {
 			printAllocation(b)
+			recordSolution(reg, "proportional", b)
 		}
 	}
+
+	if *metricsOut != "" {
+		if err := writeMetrics(*metricsOut, reg); err != nil {
+			fatal(err)
+		}
+		if *progress {
+			fmt.Fprintf(os.Stderr, "slaplan: metrics written to %s\n", *metricsOut)
+		}
+	}
+}
+
+// recordSolution publishes one allocation's outcome and solver diagnostics.
+func recordSolution(reg *obs.Registry, name string, sol *core.Solution) {
+	reg.Gauge("slaplan_"+name+"_cost", "total provisioning cost per unit time").Set(sol.Objective)
+	reg.Gauge("slaplan_"+name+"_power_watts", "average power of the allocation").Set(sol.Metrics.TotalPower)
+	reg.Gauge("slaplan_"+name+"_solver_evals", "objective evaluations spent").Set(float64(sol.Result.Evals))
+	reg.Gauge("slaplan_"+name+"_solver_iters", "outer solver iterations").Set(float64(sol.Result.Iters))
+	reg.Gauge("slaplan_"+name+"_trace_points", "convergence-trace entries recorded").Set(float64(len(sol.Result.Trace)))
+}
+
+func writeMetrics(path string, reg *obs.Registry) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if strings.HasSuffix(path, ".prom") || strings.HasSuffix(path, ".txt") {
+		err = reg.WritePrometheus(f)
+	} else {
+		err = reg.WriteJSON(f)
+	}
+	if err != nil {
+		return err
+	}
+	return f.Close()
 }
 
 func printAllocation(sol *core.Solution) {

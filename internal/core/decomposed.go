@@ -153,13 +153,15 @@ func MinimizeEnergyDual(c *cluster.Cluster, o EnergyOptions) (*Solution, error) 
 	}
 	bound := o.MaxWeightedDelay
 	evals := 0
+	var trace []opt.TraceEntry
 
 	// β = 0 minimizes power alone (slowest speeds): if that already meets
 	// the bound, it is the optimum.
-	s0, d0, _ := t.argminLagrangian(0)
+	s0, d0, p0 := t.argminLagrangian(0)
 	evals++
+	trace = append(trace, opt.TraceEntry{F: p0, Violation: math.Max(0, d0-bound), Evals: evals})
 	if d0 <= bound {
-		return finishDual(t, s0, evals, powerObjective)
+		return finishDual(t, s0, evals, powerObjective, trace)
 	}
 	// Feasibility: the fastest point gives the least delay.
 	dMin := 0.0
@@ -187,8 +189,12 @@ func MinimizeEnergyDual(c *cluster.Cluster, o EnergyOptions) (*Solution, error) 
 	var speeds []float64
 	for i := 0; i < 100 && betaHi-betaLo > 1e-12*(1+betaHi); i++ {
 		mid := (betaLo + betaHi) / 2
-		s, d, _ := t.argminLagrangian(mid)
+		s, d, p := t.argminLagrangian(mid)
 		evals++
+		trace = append(trace, opt.TraceEntry{
+			Iter: i + 1, F: p, Violation: math.Max(0, d-bound),
+			Step: betaHi - betaLo, Evals: evals,
+		})
 		if d <= bound {
 			betaHi = mid
 			speeds = s
@@ -200,7 +206,7 @@ func MinimizeEnergyDual(c *cluster.Cluster, o EnergyOptions) (*Solution, error) 
 		speeds, _, _ = t.argminLagrangian(betaHi)
 		evals++
 	}
-	return finishDual(t, speeds, evals, powerObjective)
+	return finishDual(t, speeds, evals, powerObjective, trace)
 }
 
 // MinimizeDelayDual solves C2 by the symmetric dual: bisect β ≥ 0 so the
@@ -218,12 +224,14 @@ func MinimizeDelayDual(c *cluster.Cluster, o DelayOptions) (*Solution, error) {
 	}
 	budget := o.EnergyBudget
 	evals := 0
+	var trace []opt.TraceEntry
 
 	// β = 0 minimizes delay alone (fastest speeds): if affordable, done.
-	s0, _, p0 := t.argminDelayLagrangian(0)
+	s0, d0, p0 := t.argminDelayLagrangian(0)
 	evals++
+	trace = append(trace, opt.TraceEntry{F: d0, Violation: math.Max(0, p0-budget), Evals: evals})
 	if p0 <= budget {
-		return finishDual(t, s0, evals, delayObjective)
+		return finishDual(t, s0, evals, delayObjective, trace)
 	}
 	// Feasibility: the cheapest point.
 	pMin := 0.0
@@ -250,8 +258,12 @@ func MinimizeDelayDual(c *cluster.Cluster, o DelayOptions) (*Solution, error) {
 	var speeds []float64
 	for i := 0; i < 100 && betaHi-betaLo > 1e-12*(1+betaHi); i++ {
 		mid := (betaLo + betaHi) / 2
-		s, _, p := t.argminDelayLagrangian(mid)
+		s, d, p := t.argminDelayLagrangian(mid)
 		evals++
+		trace = append(trace, opt.TraceEntry{
+			Iter: i + 1, F: d, Violation: math.Max(0, p-budget),
+			Step: betaHi - betaLo, Evals: evals,
+		})
 		if p <= budget {
 			betaHi = mid
 			speeds = s
@@ -263,7 +275,7 @@ func MinimizeDelayDual(c *cluster.Cluster, o DelayOptions) (*Solution, error) {
 		speeds, _, _ = t.argminDelayLagrangian(betaHi)
 		evals++
 	}
-	return finishDual(t, speeds, evals, delayObjective)
+	return finishDual(t, speeds, evals, delayObjective, trace)
 }
 
 // dualObjective selects what the assembled Solution reports as Objective.
@@ -276,8 +288,8 @@ const (
 
 // finishDual assembles a Solution at the decomposed speeds. The objective is
 // recomputed from the separable tier functions so custom weights are
-// honoured.
-func finishDual(t *tierFns, speeds []float64, evals int, kind dualObjective) (*Solution, error) {
+// honoured; trace carries the dual bisection's convergence record.
+func finishDual(t *tierFns, speeds []float64, evals int, kind dualObjective, trace []opt.TraceEntry) (*Solution, error) {
 	out := t.c.Clone()
 	if err := out.SetSpeeds(speeds); err != nil {
 		return nil, err
@@ -296,6 +308,9 @@ func finishDual(t *tierFns, speeds []float64, evals int, kind dualObjective) (*S
 	return &Solution{
 		Cluster: out, Metrics: m,
 		Objective: obj,
-		Result:    opt.Result{X: speeds, F: obj, Evals: evals, Converged: true},
+		Result: opt.Result{
+			X: speeds, F: obj, Iters: len(trace), Evals: evals,
+			Converged: true, Trace: trace,
+		},
 	}, nil
 }

@@ -1,0 +1,109 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// Snapshot is the point-in-time state of one metric, shaped for JSON
+// marshalling and plotting front-ends.
+type Snapshot struct {
+	Name string `json:"name"`
+	Help string `json:"help,omitempty"`
+	Type string `json:"type"` // "counter", "gauge" or "histogram"
+	// Value holds the counter or gauge reading (absent for histograms).
+	Value float64 `json:"value"`
+	// Histogram-only fields: per-bucket upper bounds and counts (overflow
+	// bucket last, with no bound), plus the observation sum and count.
+	Bounds []float64 `json:"bounds,omitempty"`
+	Counts []int64   `json:"counts,omitempty"`
+	Sum    float64   `json:"sum,omitempty"`
+	Count  int64     `json:"count,omitempty"`
+}
+
+// Snapshot captures every registered metric in registration order.
+func (r *Registry) Snapshot() []Snapshot {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	metrics := append([]*metric(nil), r.order...)
+	r.mu.Unlock()
+
+	out := make([]Snapshot, 0, len(metrics))
+	for _, m := range metrics {
+		s := Snapshot{Name: m.name, Help: m.help, Type: m.kind.String()}
+		switch m.kind {
+		case kindCounter:
+			s.Value = float64(m.c.Value())
+		case kindGauge:
+			s.Value = m.g.Value()
+		case kindHistogram:
+			s.Bounds = m.h.Bounds()
+			s.Counts = m.h.BucketCounts()
+			s.Sum = m.h.Sum()
+			s.Count = m.h.Count()
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// WriteJSON writes the registry as a JSON document {"metrics": [...]} with
+// one Snapshot per metric.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(struct {
+		Metrics []Snapshot `json:"metrics"`
+	}{Metrics: r.Snapshot()})
+}
+
+// WritePrometheus writes the registry in the Prometheus text exposition
+// format (version 0.0.4): HELP/TYPE comment lines followed by samples, with
+// histogram buckets expanded to cumulative `le`-labelled series.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	for _, s := range r.Snapshot() {
+		if s.Help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", s.Name, s.Help); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", s.Name, s.Type); err != nil {
+			return err
+		}
+		var err error
+		switch s.Type {
+		case "histogram":
+			cum := int64(0)
+			for i, c := range s.Counts {
+				cum += c
+				le := "+Inf"
+				if i < len(s.Bounds) {
+					le = formatFloat(s.Bounds[i])
+				}
+				if _, err = fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", s.Name, le, cum); err != nil {
+					return err
+				}
+			}
+			if _, err = fmt.Fprintf(w, "%s_sum %s\n", s.Name, formatFloat(s.Sum)); err != nil {
+				return err
+			}
+			_, err = fmt.Fprintf(w, "%s_count %d\n", s.Name, s.Count)
+		default:
+			_, err = fmt.Fprintf(w, "%s %s\n", s.Name, formatFloat(s.Value))
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// formatFloat renders a sample value the way Prometheus parsers expect:
+// shortest round-trip representation, integers without an exponent.
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

@@ -1,0 +1,346 @@
+// Package obs is the observability substrate of clusterq: a lightweight
+// metric registry (counters, gauges, fixed-bucket histograms) with a
+// lock-free hot path, time-series capture (Timeline), and exposition in both
+// JSON and the Prometheus text format. It is stdlib-only, like the rest of
+// the module.
+//
+// Two properties drive the design:
+//
+//   - Zero allocation on the hot path: Counter.Add, Gauge.Set and
+//     Histogram.Observe never allocate; registration (name lookup, slice
+//     growth) happens once up front.
+//   - Near-zero cost when disabled: every metric method is a no-op on a nil
+//     receiver, and a nil *Registry hands out nil metrics, so instrumented
+//     code needs no "is observability on?" branches of its own.
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing event count. The zero value is ready
+// to use; a nil *Counter is a no-op.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one to the counter.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add increases the counter by n (n < 0 is ignored: counters are monotone).
+func (c *Counter) Add(n int64) {
+	if c == nil || n < 0 {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Value returns the current count (0 on a nil counter).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an instantaneous float64 value. The zero value reads as 0; a nil
+// *Gauge is a no-op.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores the gauge value.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Add shifts the gauge by d (atomic read-modify-write).
+func (g *Gauge) Add(d float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + d)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the current gauge value (0 on a nil gauge).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Histogram counts observations into fixed buckets. Bucket i counts
+// observations v ≤ Bounds[i]; one implicit overflow bucket (+Inf) catches the
+// rest. The zero value is unusable — construct through Registry.Histogram —
+// but a nil *Histogram is a no-op.
+type Histogram struct {
+	bounds []float64
+	counts []atomic.Int64 // len(bounds)+1, last = overflow
+	sum    atomic.Uint64  // float64 bits of the running sum
+	n      atomic.Int64
+}
+
+func newHistogram(bounds []float64) (*Histogram, error) {
+	if len(bounds) == 0 {
+		return nil, fmt.Errorf("obs: histogram needs at least one bucket bound")
+	}
+	for i := 1; i < len(bounds); i++ {
+		if !(bounds[i] > bounds[i-1]) {
+			return nil, fmt.Errorf("obs: histogram bounds not strictly increasing at %d: %g, %g",
+				i, bounds[i-1], bounds[i])
+		}
+	}
+	return &Histogram{
+		bounds: append([]float64(nil), bounds...),
+		counts: make([]atomic.Int64, len(bounds)+1),
+	}, nil
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	// Branchless-ish bucket search: the bound lists are short (≤ ~30), so a
+	// linear scan beats binary search and stays allocation-free.
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.n.Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations (0 on nil).
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.n.Load()
+}
+
+// Sum returns the running total of all observations (0 on nil).
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sum.Load())
+}
+
+// Bounds returns the bucket upper bounds (the +Inf overflow is implicit).
+func (h *Histogram) Bounds() []float64 {
+	if h == nil {
+		return nil
+	}
+	return append([]float64(nil), h.bounds...)
+}
+
+// BucketCounts returns the per-bucket counts, overflow last.
+func (h *Histogram) BucketCounts() []int64 {
+	if h == nil {
+		return nil
+	}
+	out := make([]int64, len(h.counts))
+	for i := range h.counts {
+		out[i] = h.counts[i].Load()
+	}
+	return out
+}
+
+// LinearBuckets returns n strictly increasing bounds start, start+width, ….
+func LinearBuckets(start, width float64, n int) []float64 {
+	if n < 1 {
+		n = 1
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = start + float64(i)*width
+	}
+	return out
+}
+
+// ExponentialBuckets returns n bounds start, start·factor, start·factor², ….
+func ExponentialBuckets(start, factor float64, n int) []float64 {
+	if n < 1 {
+		n = 1
+	}
+	out := make([]float64, n)
+	v := start
+	for i := range out {
+		out[i] = v
+		v *= factor
+	}
+	return out
+}
+
+// metricKind discriminates registry entries.
+type metricKind int
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindHistogram
+)
+
+func (k metricKind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	default:
+		return "histogram"
+	}
+}
+
+// metric is one named registry entry.
+type metric struct {
+	name string
+	help string
+	kind metricKind
+	c    *Counter
+	g    *Gauge
+	h    *Histogram
+}
+
+// Registry is an ordered collection of named metrics. Registration
+// (Counter/Gauge/Histogram) is idempotent: asking twice for the same name and
+// kind returns the same instance. A nil *Registry hands out nil metrics, so
+// instrumentation wired to an optional registry costs (almost) nothing when
+// observability is off.
+type Registry struct {
+	mu     sync.Mutex
+	byName map[string]*metric
+	order  []*metric
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: make(map[string]*metric)}
+}
+
+// validName reports whether name fits the Prometheus metric-name charset
+// [a-zA-Z_:][a-zA-Z0-9_:]*.
+func validName(name string) bool {
+	if name == "" {
+		return false
+	}
+	for i, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_', r == ':':
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// lookup finds or creates the named entry; it panics on invalid names and on
+// kind clashes, which are programming errors, not runtime conditions.
+func (r *Registry) lookup(name, help string, kind metricKind) *metric {
+	if !validName(name) {
+		panic(fmt.Sprintf("obs: invalid metric name %q", name))
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.byName[name]; ok {
+		if m.kind != kind {
+			panic(fmt.Sprintf("obs: metric %q already registered as %s, requested %s",
+				name, m.kind, kind))
+		}
+		return m
+	}
+	m := &metric{name: name, help: help, kind: kind}
+	r.byName[name] = m
+	r.order = append(r.order, m)
+	return m
+}
+
+// Counter returns the named counter, creating it on first use. Nil registries
+// return a nil (no-op) counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	if r == nil {
+		return nil
+	}
+	m := r.lookup(name, help, kindCounter)
+	if m.c == nil {
+		m.c = &Counter{}
+	}
+	return m.c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	m := r.lookup(name, help, kindGauge)
+	if m.g == nil {
+		m.g = &Gauge{}
+	}
+	return m.g
+}
+
+// Histogram returns the named histogram, creating it (with the given bucket
+// upper bounds) on first use; later calls ignore the bounds argument. Invalid
+// bounds panic, matching the other registration errors.
+func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	m := r.lookup(name, help, kindHistogram)
+	if m.h == nil {
+		h, err := newHistogram(bounds)
+		if err != nil {
+			panic(err.Error())
+		}
+		m.h = h
+	}
+	return m.h
+}
+
+// Names returns the registered metric names in registration order.
+func (r *Registry) Names() []string {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]string, len(r.order))
+	for i, m := range r.order {
+		out[i] = m.name
+	}
+	return out
+}
+
+// SortedNames returns the registered metric names sorted lexically.
+func (r *Registry) SortedNames() []string {
+	names := r.Names()
+	sort.Strings(names)
+	return names
+}

@@ -55,6 +55,7 @@ func AugmentedLagrangian(f Objective, gs []Constraint, box Box, x0 []float64, op
 	var best Result
 	best.F = math.Inf(1)
 	feasibleFound := false
+	var trace []TraceEntry
 
 	for outer := 0; outer < opts.OuterIters; outer++ {
 		lagr := func(p []float64) float64 {
@@ -93,6 +94,9 @@ func AugmentedLagrangian(f Objective, gs []Constraint, box Box, x0 []float64, op
 
 		fx := f(x)
 		totalEvals++
+		trace = append(trace, TraceEntry{
+			Iter: outer, F: fx, Violation: maxViol, Step: mu, Evals: totalEvals,
+		})
 		if maxViol <= opts.CTol {
 			prevBest := best.F
 			if fx < best.F {
@@ -104,6 +108,7 @@ func AugmentedLagrangian(f Objective, gs []Constraint, box Box, x0 []float64, op
 				best.Iters = totalIters
 				best.Evals = totalEvals
 				best.Converged = true
+				best.Trace = trace
 				return best
 			}
 			feasibleFound = true
@@ -113,11 +118,12 @@ func AugmentedLagrangian(f Objective, gs []Constraint, box Box, x0 []float64, op
 
 	if !feasibleFound {
 		// Return the least-violating point with Converged=false.
-		return Result{X: x, F: f(x), Iters: totalIters, Evals: totalEvals, Converged: false}
+		return Result{X: x, F: f(x), Iters: totalIters, Evals: totalEvals, Converged: false, Trace: trace}
 	}
 	best.Iters = totalIters
 	best.Evals = totalEvals
 	best.Converged = true
+	best.Trace = trace
 	return best
 }
 

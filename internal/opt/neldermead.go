@@ -75,6 +75,7 @@ func NelderMead(f Objective, box Box, x0 []float64, opts NelderMeadOptions) Resu
 
 	iters := 0
 	converged := false
+	var trace []TraceEntry
 	for ; iters < opts.MaxIters; iters++ {
 		sort.Slice(simplex, func(a, b int) bool { return simplex[a].f < simplex[b].f })
 		best, worst := simplex[0], simplex[dim]
@@ -88,6 +89,7 @@ func NelderMead(f Objective, box Box, x0 []float64, opts NelderMeadOptions) Resu
 				xSpread = d
 			}
 		}
+		trace = append(trace, TraceEntry{Iter: iters, F: best.f, Step: xSpread, Evals: evals})
 		if fSpread <= opts.FTol*(1+math.Abs(best.f)) && xSpread <= opts.XTol*(1+norm2(best.x)) {
 			converged = true
 			break
@@ -149,5 +151,6 @@ func NelderMead(f Objective, box Box, x0 []float64, opts NelderMeadOptions) Resu
 	return Result{
 		X: simplex[0].x, F: simplex[0].f,
 		Iters: iters, Evals: evals, Converged: converged,
+		Trace: trace,
 	}
 }

@@ -17,6 +17,19 @@ import (
 // Objective is a scalar function of a vector.
 type Objective func(x []float64) float64
 
+// TraceEntry is one point of a solver's convergence trace: the state at the
+// end of one (outer) iteration. The Step field is solver-specific scale
+// information — the line-search step for projected gradient, the simplex
+// x-spread for Nelder–Mead, the penalty weight µ for the augmented
+// Lagrangian, and the dual bracket width for the decomposed solvers.
+type TraceEntry struct {
+	Iter      int     // 0-based (outer) iteration index
+	F         float64 // incumbent objective value
+	Violation float64 // max inequality-constraint violation (0 when unconstrained)
+	Step      float64 // solver step scale (see above)
+	Evals     int     // cumulative objective evaluations so far
+}
+
 // Result reports the outcome of a minimization.
 type Result struct {
 	X         []float64 // best point found
@@ -24,6 +37,10 @@ type Result struct {
 	Iters     int       // outer iterations performed
 	Evals     int       // objective evaluations
 	Converged bool      // tolerance met before the iteration cap
+	// Trace records per-iteration convergence (objective, constraint
+	// violation, step scale) for plotting solver behavior. Multi-start
+	// wrappers keep the winning start's trace.
+	Trace []TraceEntry
 }
 
 func (r Result) String() string {

@@ -39,6 +39,7 @@ func ProjectedGradient(f Objective, box Box, x0 []float64, opts ProjGradOptions)
 
 	iters := 0
 	converged := false
+	var trace []TraceEntry
 	for ; iters < opts.MaxIters; iters++ {
 		g := Gradient(f, x)
 		evals += 2 * len(x)
@@ -94,6 +95,7 @@ func ProjectedGradient(f Objective, box Box, x0 []float64, opts ProjGradOptions)
 				break
 			}
 		}
+		trace = append(trace, TraceEntry{Iter: iters, F: fx, Step: step, Evals: evals})
 		if converged {
 			break
 		}
@@ -104,5 +106,5 @@ func ProjectedGradient(f Objective, box Box, x0 []float64, opts ProjGradOptions)
 			break
 		}
 	}
-	return Result{X: x, F: fx, Iters: iters, Evals: evals, Converged: converged}
+	return Result{X: x, F: fx, Iters: iters, Evals: evals, Converged: converged, Trace: trace}
 }

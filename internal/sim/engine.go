@@ -10,6 +10,7 @@ const (
 	evDeparture                  // service completion at a station
 	evControl                    // runtime DVFS controller epoch
 	evSetupDone                  // a sleeping server finished warming up
+	evSample                     // observability probe sampling tick
 )
 
 // event is one scheduled occurrence. Events are ordered by time with the

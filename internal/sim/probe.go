@@ -1,0 +1,143 @@
+package sim
+
+import (
+	"fmt"
+
+	"clusterq/internal/obs"
+)
+
+// Probe configures the simulator's observability hooks: periodic time-series
+// sampling of the system state and per-event-type counters. Attach one via
+// Options.Probe; a nil probe leaves the engine on its unobserved fast path.
+type Probe struct {
+	// Period is the sampling period in simulated seconds (required, > 0).
+	// Every Period the probe records, per tier, the waiting-queue length,
+	// busy servers, utilization and instantaneous power, plus the
+	// system-wide per-class in-flight counts and total power.
+	Period float64
+	// Registry optionally receives the aggregated event counters
+	// (sim_events_<kind>_total) and run-level gauges after Run completes,
+	// for exposition through obs.Registry.WriteJSON / WritePrometheus.
+	// May be nil.
+	Registry *obs.Registry
+}
+
+func (p *Probe) validate() error {
+	if p == nil {
+		return nil
+	}
+	if !(p.Period > 0) {
+		return fmt.Errorf("sim: probe period %g must be positive", p.Period)
+	}
+	return nil
+}
+
+// probeKind enumerates the countable simulator events; the names mirror the
+// trace-event strings so trace rows and counters line up.
+type probeKind int
+
+const (
+	pkArrival probeKind = iota
+	pkStart
+	pkPreempt
+	pkVisitEnd
+	pkExit
+	pkRetune
+	pkSetupBegin
+	pkSetupDone
+	numProbeKinds
+)
+
+// probeKindNames maps counter slots to the trace-event vocabulary.
+var probeKindNames = [numProbeKinds]string{
+	TraceArrival, TraceStart, TracePreempt, TraceVisitEnd,
+	TraceExit, TraceRetune, TraceSetupBegin, TraceSetupDone,
+}
+
+// count bumps one event counter; a branch and an increment when the probe is
+// attached, a branch when it is not.
+func (s *simulator) count(k probeKind) {
+	if s.probe != nil {
+		s.evCounts[k]++
+	}
+}
+
+// timelineSeriesNames builds the probe's column layout for jn tiers and kn
+// classes: per tier queue/busy/util/power, per class in-flight, then the
+// cluster-wide power.
+func timelineSeriesNames(jn, kn int) []string {
+	names := make([]string, 0, 4*jn+kn+1)
+	for j := 0; j < jn; j++ {
+		names = append(names,
+			fmt.Sprintf("tier%d_queue", j),
+			fmt.Sprintf("tier%d_busy", j),
+			fmt.Sprintf("tier%d_util", j),
+			fmt.Sprintf("tier%d_power", j),
+		)
+	}
+	for k := 0; k < kn; k++ {
+		names = append(names, fmt.Sprintf("class%d_inflight", k))
+	}
+	names = append(names, "power_total")
+	return names
+}
+
+// handleSample records one probe observation and schedules the next. Only the
+// recording replication (replication 0) carries a timeline; the others still
+// count events.
+func (s *simulator) handleSample() {
+	now := s.cal.now
+	if s.tl != nil {
+		row := s.tl.Row()
+		i := 0
+		var totalPower float64
+		for _, st := range s.stations {
+			p := st.instPower()
+			row[i] = float64(st.queueLen())
+			row[i+1] = float64(len(st.running))
+			row[i+2] = float64(len(st.running)) / float64(st.servers)
+			row[i+3] = p
+			i += 4
+			totalPower += p
+		}
+		for k := range s.inflight {
+			row[i] = float64(s.inflight[k])
+			i++
+		}
+		row[i] = totalPower
+		s.tl.Sample(now, row)
+	}
+	s.cal.at(now+s.probe.Period, &event{kind: evSample})
+}
+
+// publishProbe pushes the aggregated counters and run facts into the probe's
+// registry (when one is attached) after all replications finished.
+func publishProbe(p *Probe, res *Result, horizon float64) {
+	reg := p.Registry
+	if reg == nil {
+		return
+	}
+	for _, name := range probeKindNames {
+		reg.Counter("sim_events_"+name+"_total",
+			"simulator "+name+" events summed over replications").
+			Add(res.EventCounts[name])
+	}
+	reg.Gauge("sim_replications", "independent replications run").
+		Set(float64(res.Replications))
+	reg.Gauge("sim_horizon_seconds", "simulated seconds per replication").
+		Set(horizon)
+	var completed int64
+	for _, n := range res.Completed {
+		completed += n
+	}
+	reg.Gauge("sim_completed_requests", "post-warmup completions, all classes").
+		Set(float64(completed))
+	reg.Gauge("sim_power_watts", "measured cluster average power").
+		Set(res.TotalPower.Mean)
+	reg.Gauge("sim_weighted_delay_seconds", "completion-weighted mean end-to-end delay").
+		Set(res.WeightedDelay.Mean)
+	if res.Timeline != nil {
+		reg.Gauge("sim_timeline_samples", "probe samples recorded on replication 0").
+			Set(float64(res.Timeline.Len()))
+	}
+}

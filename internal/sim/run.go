@@ -6,8 +6,10 @@ import (
 	"math"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"clusterq/internal/cluster"
+	"clusterq/internal/obs"
 	"clusterq/internal/queueing"
 	"clusterq/internal/stats"
 )
@@ -45,6 +47,17 @@ type Options struct {
 	// interleaved traces from parallel replications would be meaningless.
 	// Wrap the writer in bufio for long runs; traces are large.
 	Trace io.Writer
+	// Probe optionally attaches the observability layer: periodic sampling
+	// of per-tier queue length, busy servers, utilization and power plus
+	// per-class in-flight counts (surfaced in Result.Timeline, recorded on
+	// replication 0), and per-event-type counters summed over every
+	// replication (Result.EventCounts). A nil probe costs nothing.
+	Probe *Probe
+	// Progress, when non-nil, is called once per completed replication
+	// with the running completion count and the total. Replications run
+	// concurrently, so the callback must be safe for concurrent use (an
+	// atomic store, a channel send); counts arrive in completion order.
+	Progress func(done, total int)
 	// Sleep optionally enables the instant-off sleep policy per tier: a
 	// non-nil entry j means tier j's idle servers power down to SleepPower
 	// watts and pay a Setup period (at busy power) before serving the
@@ -84,6 +97,9 @@ func (o *Options) defaults() error {
 	}
 	if o.Trace != nil && o.Replications != 1 {
 		return fmt.Errorf("sim: tracing requires exactly 1 replication, got %d", o.Replications)
+	}
+	if err := o.Probe.validate(); err != nil {
+		return err
 	}
 	return nil
 }
@@ -161,6 +177,14 @@ type Result struct {
 	Completed []int64
 	// Replications actually run.
 	Replications int
+	// Timeline holds the probe's sampled time series from replication 0
+	// (nil unless Options.Probe is set): per-tier queue length, busy
+	// servers, utilization and instantaneous power, per-class in-flight
+	// counts, and total power, sampled every Probe.Period.
+	Timeline *obs.Timeline
+	// EventCounts sums simulator events by trace-event name across all
+	// replications (nil unless Options.Probe is set).
+	EventCounts map[string]int64
 }
 
 // repOutput is the per-replication summary fed to the aggregator.
@@ -174,6 +198,8 @@ type repOutput struct {
 	tierPower []float64
 	tierWait  [][]float64 // [tier][class] mean wait per visit
 	completed []int64
+	events    [numProbeKinds]int64
+	tl        *obs.Timeline // replication 0 only, with a probe attached
 }
 
 // Run simulates the cluster and aggregates the replications.
@@ -200,6 +226,7 @@ func Run(c *cluster.Cluster, o Options) (*Result, error) {
 	reps := make([]repOutput, o.Replications)
 	errs := make([]error, o.Replications)
 	var wg sync.WaitGroup
+	var done atomic.Int64
 	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
 	for r := 0; r < o.Replications; r++ {
 		wg.Add(1)
@@ -207,13 +234,23 @@ func Run(c *cluster.Cluster, o Options) (*Result, error) {
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
-			s, err := newSimulator(c, o, o.Seed+uint64(r))
+			s, err := newSimulator(c, o, o.Seed+uint64(r), r == 0)
 			if err != nil {
 				errs[r] = err
 				return
 			}
 			s.run()
+			// A trace that stopped writing mid-run is truncated data, not
+			// a result: surface the first write error instead of
+			// pretending the replication succeeded.
+			if err := s.tr.Err(); err != nil {
+				errs[r] = fmt.Errorf("sim: trace write failed: %w", err)
+				return
+			}
 			reps[r] = s.summarize()
+			if o.Progress != nil {
+				o.Progress(int(done.Add(1)), o.Replications)
+			}
 		}(r)
 	}
 	wg.Wait()
@@ -286,6 +323,18 @@ func Run(c *cluster.Cluster, o Options) (*Result, error) {
 			WaitByClass: waits,
 		}
 	}
+	if o.Probe != nil {
+		res.Timeline = reps[0].tl
+		res.EventCounts = make(map[string]int64, numProbeKinds)
+		for kind, name := range probeKindNames {
+			var total int64
+			for _, r := range reps {
+				total += r.events[kind]
+			}
+			res.EventCounts[name] = total
+		}
+		publishProbe(o.Probe, res, o.Horizon)
+	}
 	return res, nil
 }
 
@@ -299,6 +348,8 @@ func (s *simulator) summarize() repOutput {
 		tierUtil:  make([]float64, len(s.stations)),
 		tierPower: make([]float64, len(s.stations)),
 		completed: make([]int64, k),
+		events:    s.evCounts,
+		tl:        s.tl,
 	}
 	var wNum, wDen float64
 	for cl := 0; cl < k; cl++ {

@@ -2,6 +2,7 @@ package sim
 
 import (
 	"clusterq/internal/cluster"
+	"clusterq/internal/obs"
 	"clusterq/internal/queueing"
 	"clusterq/internal/stats"
 )
@@ -33,13 +34,24 @@ type simulator struct {
 
 	tr *traceWriter // nil unless Options.Trace is set
 
+	// Observability (nil/zero unless Options.Probe is set): the probe
+	// config, the recording replication's timeline, per-class in-flight
+	// counts, and per-event-type counters.
+	probe    *Probe
+	tl       *obs.Timeline
+	inflight []int
+	evCounts [numProbeKinds]int64
+
 	delay     []*stats.Welford // end-to-end response per class
 	delayQ    []*stats.QuantileSet
 	completed []int64
 	quantiles []float64
 }
 
-func newSimulator(c *cluster.Cluster, o Options, seed uint64) (*simulator, error) {
+// newSimulator builds one replication. record enables the probe's timeline
+// capture (only the first replication records one; event counters run on
+// every replication).
+func newSimulator(c *cluster.Cluster, o Options, seed uint64, record bool) (*simulator, error) {
 	if err := c.Validate(); err != nil {
 		return nil, err
 	}
@@ -53,9 +65,14 @@ func newSimulator(c *cluster.Cluster, o Options, seed uint64) (*simulator, error
 		quantiles:     o.Quantiles,
 		controller:    o.Controller,
 		controlPeriod: o.ControlPeriod,
+		probe:         o.Probe,
 	}
 	if o.Trace != nil {
 		s.tr = newTraceWriter(o.Trace)
+	}
+	if s.probe != nil && record {
+		s.tl = obs.NewTimeline(timelineSeriesNames(len(c.Tiers), len(c.Classes))...)
+		s.inflight = make([]int, len(c.Classes))
 	}
 	quantiles := o.Quantiles
 	// Resolve arrival profiles: default every class to its constant rate.
@@ -136,6 +153,10 @@ func newSimulator(c *cluster.Cluster, o Options, seed uint64) (*simulator, error
 	if s.controller != nil && s.controlPeriod > 0 {
 		s.cal.at(s.controlPeriod, &event{kind: evControl})
 	}
+	// Prime the probe's sampling loop.
+	if s.probe != nil {
+		s.cal.at(s.probe.Period, &event{kind: evSample})
+	}
 	return s, nil
 }
 
@@ -158,6 +179,8 @@ func (s *simulator) run() {
 			s.handleControl()
 		case evSetupDone:
 			s.handleSetupDone(e)
+		case evSample:
+			s.handleSample()
 		}
 	}
 }
@@ -190,10 +213,18 @@ func (s *simulator) handleArrival(e *event) {
 	s.jobSeq++
 	j := &job{id: s.jobSeq, class: k, arrival: now}
 	s.tr.event(now, TraceArrival, k, j.id, -1, 0)
+	s.count(pkArrival)
+	if s.inflight != nil {
+		s.inflight[k]++
+	}
 	if r := s.routings[k]; r != nil {
 		entry := s.sampleIndex(k, r.Entry)
 		if entry < 0 {
-			return // numerically empty entry distribution
+			// Numerically empty entry distribution: the job never enters.
+			if s.inflight != nil {
+				s.inflight[k]--
+			}
+			return
 		}
 		s.deliverTo(j, entry, now)
 		return
@@ -251,6 +282,7 @@ func (s *simulator) handleControl() {
 func (s *simulator) maybeWake(st *simStation, now float64) {
 	if st.sleepingServers() > 0 && st.settingUp < st.queueLen() {
 		s.tr.event(now, TraceSetupBegin, -1, 0, st.idx, 0)
+		s.count(pkSetupBegin)
 		st.settingUp++
 		st.observeBusy(now) // power steps from sleep to setup level
 		d := st.setupSampler.Sample(s.svcRNG[st.idx])
@@ -265,6 +297,7 @@ func (s *simulator) handleSetupDone(e *event) {
 	st := s.stations[e.station]
 	st.settingUp--
 	s.tr.event(now, TraceSetupDone, -1, 0, st.idx, 0)
+	s.count(pkSetupDone)
 	if next := st.nextWaiting(); next != nil {
 		s.startService(st, next, now)
 	} else {
@@ -280,6 +313,7 @@ func (s *simulator) setSpeed(st *simStation, now, speed float64) {
 		return
 	}
 	s.tr.event(now, TraceRetune, -1, 0, st.idx, speed)
+	s.count(pkRetune)
 	old := st.running
 	// Bank all segments at the old speed before switching.
 	for _, run := range old {
@@ -342,6 +376,7 @@ func (s *simulator) arriveAtStation(st *simStation, j *job, now float64) {
 // requeues the job at the head of its class line.
 func (s *simulator) preempt(st *simStation, run *serviceRun, now float64) {
 	s.tr.event(now, TracePreempt, run.job.class, run.job.id, st.idx, 0)
+	s.count(pkPreempt)
 	run.cancelled = true
 	st.bankSegment(run, now)
 	if run.job.remaining < 1e-12 {
@@ -354,6 +389,7 @@ func (s *simulator) preempt(st *simStation, run *serviceRun, now float64) {
 
 func (s *simulator) startService(st *simStation, j *job, now float64) {
 	s.tr.event(now, TraceStart, j.class, j.id, st.idx, 0)
+	s.count(pkStart)
 	run := &serviceRun{job: j, start: now}
 	st.running = append(st.running, run)
 	st.observeBusy(now)
@@ -381,6 +417,7 @@ func (s *simulator) handleDeparture(e *event) {
 	st.waitByCls[j.class].Add(wait)
 	st.servedCls[j.class]++
 	s.tr.event(now, TraceVisitEnd, j.class, j.id, st.idx, 0)
+	s.count(pkVisitEnd)
 
 	// Hand the freed server to the queue BEFORE routing the departing job
 	// onward: a job feeding back to the same station must rejoin behind
@@ -409,6 +446,10 @@ func (s *simulator) handleDeparture(e *event) {
 	}
 	if done {
 		s.tr.event(now, TraceExit, j.class, j.id, -1, now-j.arrival)
+		s.count(pkExit)
+		if s.inflight != nil {
+			s.inflight[j.class]--
+		}
 		if j.arrival >= s.warmup {
 			// Only post-warmup arrivals count toward steady-state output.
 			d := now - j.arrival

@@ -28,6 +28,16 @@ func (t *traceWriter) line(format string, args ...any) {
 	_, t.err = fmt.Fprintf(t.w, format, args...)
 }
 
+// Err returns the first write error the trace hit, or nil. Once a write
+// fails the writer goes silent, so the trace is truncated at that point; the
+// run loop surfaces this error from sim.Run instead of dropping it.
+func (t *traceWriter) Err() error {
+	if t == nil {
+		return nil
+	}
+	return t.err
+}
+
 // event writes one row. station is -1 for network-level events; value is an
 // event-specific number (speed for retune, 0 otherwise).
 func (t *traceWriter) event(now float64, kind string, class int, jobID uint64, station int, value float64) {

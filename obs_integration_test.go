@@ -1,0 +1,54 @@
+package clusterq
+
+import (
+	"fmt"
+	"math"
+	"testing"
+)
+
+// TestProbeUtilizationMatchesModel is the acceptance check for the
+// observability layer: a probe-attached simulation of the canonical scenario
+// must produce a non-empty timeline whose time-averaged per-tier utilization
+// agrees with the analytical model.
+func TestProbeUtilizationMatchesModel(t *testing.T) {
+	c := Enterprise3Tier(1.0)
+	m, err := Evaluate(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	reg := NewMetricRegistry()
+	res, err := Simulate(c, SimOptions{
+		Horizon:      30000,
+		Replications: 2,
+		Seed:         9,
+		Probe:        &SimProbe{Period: 5, Registry: reg},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	tl := res.Timeline
+	if tl == nil || tl.Len() == 0 {
+		t.Fatal("probe attached but Timeline is empty")
+	}
+	for j := range c.Tiers {
+		name := fmt.Sprintf("tier%d_util", j)
+		got := tl.Mean(name)
+		want := m.Tiers[j].Utilization
+		if math.IsNaN(got) {
+			t.Fatalf("series %s missing from timeline %v", name, tl.Names())
+		}
+		if math.Abs(got-want) > 0.05 {
+			t.Errorf("tier %d: sampled utilization %.4f vs model %.4f", j, got, want)
+		}
+	}
+
+	// The registry carries the run summary alongside the event counters.
+	if got := reg.Gauge("sim_replications", "").Value(); got != 2 {
+		t.Errorf("sim_replications = %g, want 2", got)
+	}
+	if res.EventCounts["arrival"] == 0 {
+		t.Errorf("event counters empty: %v", res.EventCounts)
+	}
+}
