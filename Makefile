@@ -1,0 +1,30 @@
+GO ?= go
+
+.PHONY: all build test race lint fmt tidy-check check
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# lint runs the in-tree analyzer suite (see internal/lint); it exits non-zero
+# on any finding.
+lint:
+	$(GO) run ./cmd/clusterqlint ./...
+
+# fmt fails if any file is not gofmt-clean (lists the offenders).
+fmt:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+# tidy-check fails if go.mod/go.sum would change under `go mod tidy`.
+tidy-check:
+	$(GO) mod tidy -diff
+
+check: build fmt tidy-check lint test

@@ -1,0 +1,42 @@
+// Command clusterqlint runs clusterq's custom static-analysis suite over the
+// repository: five analyzers enforcing the invariants the reproduction's
+// credibility rests on — simulator determinism (simdeterm), NaN-safe float
+// comparisons (floateq), the observability layer's nil-means-no-op contract
+// (nilnoop), checked writer errors (errsink), and NaN-safe constructor
+// validation (ctorvalidate).
+//
+// Usage:
+//
+//	clusterqlint [packages]     # go-style patterns; default ./...
+//	clusterqlint -list          # describe the analyzers and exit
+//
+// Exit status: 0 when clean, 1 when any analyzer reports a finding, 2 on
+// usage or load errors. Findings are suppressed line-by-line with a
+// `//lint:<analyzer> <reason>` comment on or directly above the flagged
+// line; see README "Static analysis".
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"clusterq/internal/lint"
+)
+
+func main() {
+	list := flag.Bool("list", false, "describe the analyzers and exit")
+	flag.Parse()
+	if *list {
+		for _, a := range lint.All() {
+			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "clusterqlint:", err)
+		os.Exit(2)
+	}
+	os.Exit(lint.Main(os.Stdout, os.Stderr, cwd, flag.Args()))
+}

@@ -85,7 +85,9 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		defer f.Close()
+		// Profiles are best-effort diagnostics: a failed close must not turn
+		// a successful simulation into a failure.
+		defer func() { _ = f.Close() }()
 		if err := pprof.StartCPUProfile(f); err != nil {
 			fatal(err)
 		}
@@ -127,14 +129,23 @@ func main() {
 			}
 		}()
 	}
+	// finishTrace flushes and closes the trace file once the run succeeded;
+	// deferring the flush would drop its error and silently truncate the
+	// trace — the exact failure mode sim.Run's own error propagation guards
+	// against for mid-run writes.
+	finishTrace := func() error { return nil }
 	if *tracePath != "" {
 		f, err := os.Create(*tracePath)
 		if err != nil {
 			fatal(err)
 		}
-		defer f.Close()
 		bw := bufio.NewWriterSize(f, 1<<20)
-		defer bw.Flush()
+		finishTrace = func() error {
+			if err := bw.Flush(); err != nil {
+				return err
+			}
+			return f.Close()
+		}
 		opts.Trace = bw
 		opts.Replications = 1
 		fmt.Printf("tracing events to %s (single replication)\n", *tracePath)
@@ -171,6 +182,9 @@ func main() {
 	res, err := sim.Run(c, opts)
 	if err != nil {
 		fatal(err)
+	}
+	if err := finishTrace(); err != nil {
+		fatal(fmt.Errorf("trace: %w", err))
 	}
 
 	fmt.Printf("simulated %d replications of %.4g s (warmup %.4g s)\n\n",
@@ -263,7 +277,9 @@ func writeMetrics(path string, reg *obs.Registry, tl *obs.Timeline) error {
 	if err != nil {
 		return err
 	}
-	defer f.Close()
+	// Safety net for early error returns; the success path closes (and
+	// checks) explicitly below.
+	defer func() { _ = f.Close() }()
 	w := bufio.NewWriter(f)
 	if strings.HasSuffix(path, ".prom") || strings.HasSuffix(path, ".txt") {
 		// Prometheus text is a point-in-time format: the timeline stays in

@@ -117,7 +117,9 @@ func writeMetrics(path string, reg *obs.Registry) error {
 	if err != nil {
 		return err
 	}
-	defer f.Close()
+	// Safety net for early error returns; the success path closes (and
+	// checks) explicitly below.
+	defer func() { _ = f.Close() }()
 	if strings.HasSuffix(path, ".prom") || strings.HasSuffix(path, ".txt") {
 		err = reg.WritePrometheus(f)
 	} else {

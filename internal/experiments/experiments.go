@@ -62,7 +62,9 @@ func ByID(id string) (Experiment, error) {
 
 // RunAndPrint runs an experiment and renders all its tables to w.
 func RunAndPrint(e Experiment, cfg Config, w io.Writer) error {
-	fmt.Fprintf(w, "=== %s: %s ===\n\n", e.ID(), e.Title())
+	if _, err := fmt.Fprintf(w, "=== %s: %s ===\n\n", e.ID(), e.Title()); err != nil {
+		return err
+	}
 	tables, err := e.Run(cfg)
 	if err != nil {
 		return fmt.Errorf("%s: %w", e.ID(), err)
@@ -71,7 +73,9 @@ func RunAndPrint(e Experiment, cfg Config, w io.Writer) error {
 		if err := t.WriteASCII(w); err != nil {
 			return err
 		}
-		fmt.Fprintln(w)
+		if _, err := fmt.Fprintln(w); err != nil {
+			return err
+		}
 	}
 	return nil
 }

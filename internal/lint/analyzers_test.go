@@ -1,0 +1,36 @@
+package lint_test
+
+import (
+	"testing"
+
+	"clusterq/internal/lint"
+	"clusterq/internal/lint/linttest"
+)
+
+const fixtures = "testdata/src"
+
+func TestSimDeterm(t *testing.T) {
+	linttest.Run(t, fixtures, lint.SimDeterm,
+		"simdeterm/internal/sim",
+		"simdeterm/other", // out of scope: the wall-clock read there must pass
+	)
+}
+
+func TestFloatEq(t *testing.T) {
+	linttest.Run(t, fixtures, lint.FloatEq, "floateq/pkg")
+}
+
+func TestNilNoop(t *testing.T) {
+	linttest.Run(t, fixtures, lint.NilNoop,
+		"nilnoop/internal/obs",
+		"nilnoop/docpkg",
+	)
+}
+
+func TestErrSink(t *testing.T) {
+	linttest.Run(t, fixtures, lint.ErrSink, "errsink/pkg")
+}
+
+func TestCtorValidate(t *testing.T) {
+	linttest.Run(t, fixtures, lint.CtorValidate, "ctorvalidate/internal/queueing")
+}

@@ -1,0 +1,284 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// CtorValidate checks that exported constructors in the analytical packages
+// (internal/queueing, internal/core) validate every rate-like float
+// parameter NaN-safely before use. `x < 0` does NOT reject NaN (every
+// ordered comparison with NaN is false), so the accepted validation forms
+// are:
+//
+//   - math.IsNaN(x) / math.IsInf(x, ...)
+//   - the negated-comparison idiom !(x > 0), which is false for NaN
+//   - passing x (or the whole slice) to a helper named must*/check*/
+//     validate*, or delegating the slice to another constructor
+//   - for []float64 parameters, ranging over the slice and validating the
+//     element by the rules above
+//
+// A NaN arrival rate that slips through a constructor surfaces hundreds of
+// lines later as a NaN delay or a non-converging solver; rejecting it at the
+// boundary is the paper's "garbage in, error out" discipline.
+var CtorValidate = &Analyzer{
+	Name: "ctorvalidate",
+	Doc: "exported New*/Must* constructors must reject non-finite rate " +
+		"parameters NaN-safely before use",
+	Scope: []string{"internal/queueing", "internal/core"},
+	Run:   runCtorValidate,
+}
+
+func runCtorValidate(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || fd.Recv != nil {
+				continue
+			}
+			name := fd.Name.Name
+			if !fd.Name.IsExported() ||
+				!(strings.HasPrefix(name, "New") || strings.HasPrefix(name, "Must")) {
+				continue
+			}
+			if pass.InTestFile(fd.Pos()) {
+				continue
+			}
+			checkCtor(pass, fd)
+		}
+	}
+	return nil
+}
+
+func checkCtor(pass *Pass, fd *ast.FuncDecl) {
+	for _, field := range fd.Type.Params.List {
+		floatParam, slice := floatParamKind(pass, field.Type)
+		if !floatParam {
+			continue
+		}
+		for _, nm := range field.Names {
+			if nm.Name == "_" {
+				continue
+			}
+			obj := pass.Info.Defs[nm]
+			if obj == nil {
+				continue
+			}
+			if !paramValidated(pass, fd.Body, obj, slice) {
+				kind := "float64"
+				if slice {
+					kind = "[]float64"
+				}
+				pass.Reportf(nm.Pos(),
+					"constructor %s does not validate %s parameter %q "+
+						"NaN-safely: use !(x > 0)-style checks or math.IsNaN/IsInf "+
+						"(plain x < 0 lets NaN through)",
+					fd.Name.Name, kind, nm.Name)
+			}
+		}
+	}
+}
+
+// floatParamKind classifies a parameter type: (true, false) for float64/
+// float32, (true, true) for a slice of them, (false, _) otherwise.
+func floatParamKind(pass *Pass, t ast.Expr) (isFloat bool, isSlice bool) {
+	tv, ok := pass.Info.Types[t]
+	if !ok {
+		return false, false
+	}
+	switch u := tv.Type.Underlying().(type) {
+	case *types.Basic:
+		return u.Info()&types.IsFloat != 0, false
+	case *types.Slice:
+		b, ok := u.Elem().Underlying().(*types.Basic)
+		return ok && b.Info()&types.IsFloat != 0, true
+	}
+	return false, false
+}
+
+// validatorHelperPrefixes name same-package functions that encapsulate
+// validation; passing the parameter to one counts.
+var validatorHelperPrefixes = []string{"must", "Must", "check", "Check", "validate", "Validate", "valid"}
+
+func isValidatorHelper(name string) bool {
+	for _, p := range validatorHelperPrefixes {
+		if strings.HasPrefix(name, p) {
+			return true
+		}
+	}
+	return false
+}
+
+// paramValidated walks the constructor body for an accepted NaN-safe
+// validation of the parameter object. For slices, defensive copies
+// (`rs := append([]float64(nil), rates...)`) count as the parameter too.
+func paramValidated(pass *Pass, body *ast.BlockStmt, param types.Object, slice bool) bool {
+	objs := map[types.Object]bool{param: true}
+	if slice {
+		collectAliases(pass, body, param, objs)
+	}
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if callValidates(pass, n, objs, slice) {
+				found = true
+				return false
+			}
+		case *ast.UnaryExpr:
+			// !(param > 0), !(param >= lo && ...): any negated comparison
+			// mentioning the param is NaN-safe — NaN fails the inner
+			// comparison, so the negation catches it.
+			if n.Op == token.NOT && exprMentionsAny(pass, n.X, objs) && containsComparison(n.X) {
+				found = true
+				return false
+			}
+		case *ast.RangeStmt:
+			// Ranging over the slice (or a copy) and validating the element.
+			if slice && exprIsAnyObj(pass, n.X, objs) {
+				if elem := rangeValueObj(pass, n); elem != nil &&
+					paramValidated(pass, n.Body, elem, false) {
+					found = true
+					return false
+				}
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// collectAliases adds local variables initialized from expressions that
+// mention the slice parameter (copies, sub-slices) to objs.
+func collectAliases(pass *Pass, body *ast.BlockStmt, param types.Object, objs map[types.Object]bool) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || as.Tok != token.DEFINE {
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			if i >= len(as.Rhs) {
+				break
+			}
+			id, ok := lhs.(*ast.Ident)
+			if !ok {
+				continue
+			}
+			if exprMentions(pass, as.Rhs[i], param) {
+				if obj := pass.Info.Defs[id]; obj != nil {
+					objs[obj] = true
+				}
+			}
+		}
+		return true
+	})
+}
+
+// callValidates reports whether the call is an accepted validation of the
+// parameter (or an alias of it): math.IsNaN/IsInf(param...), a must*/check*/
+// validate* helper receiving it, or (for slices) delegation to another
+// New*/Must* constructor.
+func callValidates(pass *Pass, call *ast.CallExpr, objs map[types.Object]bool, slice bool) bool {
+	receivesParam := false
+	for _, arg := range call.Args {
+		if exprIsAnyObj(pass, arg, objs) {
+			receivesParam = true
+			break
+		}
+	}
+	if !receivesParam {
+		return false
+	}
+	switch fun := call.Fun.(type) {
+	case *ast.SelectorExpr:
+		if pkgOf(pass, fun) == "math" &&
+			(fun.Sel.Name == "IsNaN" || fun.Sel.Name == "IsInf") {
+			return true
+		}
+	case *ast.Ident:
+		if isValidatorHelper(fun.Name) {
+			return true
+		}
+		if slice && (strings.HasPrefix(fun.Name, "New") || strings.HasPrefix(fun.Name, "Must")) {
+			return true
+		}
+	}
+	return false
+}
+
+// exprIsAnyObj reports whether e resolves to one of the given objects.
+func exprIsAnyObj(pass *Pass, e ast.Expr, objs map[types.Object]bool) bool {
+	for {
+		if p, ok := e.(*ast.ParenExpr); ok {
+			e = p.X
+			continue
+		}
+		break
+	}
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	obj := pass.Info.Uses[id]
+	return obj != nil && objs[obj]
+}
+
+// exprMentionsAny reports whether e mentions any of the given objects.
+func exprMentionsAny(pass *Pass, e ast.Expr, objs map[types.Object]bool) bool {
+	for obj := range objs {
+		if exprMentions(pass, e, obj) {
+			return true
+		}
+	}
+	return false
+}
+
+// exprMentions reports whether any identifier inside e resolves to obj.
+func exprMentions(pass *Pass, e ast.Expr, obj types.Object) bool {
+	mentions := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && pass.Info.Uses[id] == obj {
+			mentions = true
+			return false
+		}
+		return !mentions
+	})
+	return mentions
+}
+
+// containsComparison reports whether e contains an ordered comparison.
+func containsComparison(e ast.Expr) bool {
+	has := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if b, ok := n.(*ast.BinaryExpr); ok {
+			switch b.Op {
+			case token.LSS, token.GTR, token.LEQ, token.GEQ:
+				has = true
+				return false
+			}
+		}
+		return !has
+	})
+	return has
+}
+
+// rangeValueObj returns the object of the range statement's value variable
+// (for `for _, v := range xs`), or the key variable when it is the only one.
+func rangeValueObj(pass *Pass, n *ast.RangeStmt) types.Object {
+	if n.Value != nil {
+		if id, ok := n.Value.(*ast.Ident); ok {
+			return pass.Info.Defs[id]
+		}
+	}
+	if n.Key != nil {
+		if id, ok := n.Key.(*ast.Ident); ok {
+			return pass.Info.Defs[id]
+		}
+	}
+	return nil
+}

@@ -1,0 +1,185 @@
+package lint
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// FindModule walks up from dir to the enclosing go.mod and returns the
+// module root directory and module path.
+func FindModule(dir string) (root, module string, err error) {
+	dir, err = filepath.Abs(dir)
+	if err != nil {
+		return "", "", err
+	}
+	for {
+		data, err := os.ReadFile(filepath.Join(dir, "go.mod"))
+		if err == nil {
+			m := moduleRe.FindSubmatch(data)
+			if m == nil {
+				return "", "", fmt.Errorf("no module line in %s/go.mod", dir)
+			}
+			return dir, string(m[1]), nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", "", fmt.Errorf("no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+var moduleRe = regexp.MustCompile(`(?m)^module\s+(\S+)`)
+
+// skipDir names directories the package walk never descends into, matching
+// the go tool's behavior.
+func skipDir(name string) bool {
+	return name == "testdata" || name == "vendor" ||
+		strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")
+}
+
+// ExpandPatterns resolves go-style package patterns (".", "./...",
+// "./internal/sim") against cwd into package directories containing Go
+// files, sorted for deterministic output.
+func ExpandPatterns(cwd string, patterns []string) ([]string, error) {
+	seen := map[string]bool{}
+	var dirs []string
+	add := func(dir string) {
+		if !seen[dir] && hasGoFiles(dir) {
+			seen[dir] = true
+			dirs = append(dirs, dir)
+		}
+	}
+	for _, pat := range patterns {
+		if rest, ok := strings.CutSuffix(pat, "..."); ok {
+			base := filepath.Join(cwd, filepath.FromSlash(strings.TrimSuffix(rest, "/")))
+			err := filepath.WalkDir(base, func(path string, d os.DirEntry, err error) error {
+				if err != nil {
+					return err
+				}
+				if !d.IsDir() {
+					return nil
+				}
+				if path != base && skipDir(d.Name()) {
+					return filepath.SkipDir
+				}
+				add(path)
+				return nil
+			})
+			if err != nil {
+				return nil, err
+			}
+			continue
+		}
+		add(filepath.Join(cwd, filepath.FromSlash(pat)))
+	}
+	sort.Strings(dirs)
+	return dirs, nil
+}
+
+func hasGoFiles(dir string) bool {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") && !strings.HasPrefix(e.Name(), ".") {
+			return true
+		}
+	}
+	return false
+}
+
+// RunDirs loads each package directory and applies every in-scope analyzer,
+// writing diagnostics to w in file:line:col order. It returns the number of
+// diagnostics; a load or analysis failure aborts with an error.
+func RunDirs(w io.Writer, root, module string, dirs []string, analyzers []*Analyzer) (int, error) {
+	loader := NewLoader(module, root, true)
+	total := 0
+	for _, dir := range dirs {
+		rel, err := filepath.Rel(root, dir)
+		if err != nil {
+			return total, err
+		}
+		pkgPath := module
+		if rel != "." {
+			pkgPath = module + "/" + filepath.ToSlash(rel)
+		}
+		pkg, err := loader.Load(pkgPath, dir)
+		if err != nil {
+			return total, err
+		}
+		var diags []Diagnostic
+		for _, a := range analyzers {
+			if !a.AppliesTo(pkgPath) {
+				continue
+			}
+			ds, err := Run(a, pkg)
+			if err != nil {
+				return total, err
+			}
+			diags = append(diags, ds...)
+		}
+		sort.Slice(diags, func(i, j int) bool {
+			a, b := diags[i].Pos, diags[j].Pos
+			if a.Filename != b.Filename {
+				return a.Filename < b.Filename
+			}
+			if a.Line != b.Line {
+				return a.Line < b.Line
+			}
+			return a.Column < b.Column
+		})
+		for _, d := range diags {
+			rel := d
+			if r, err := filepath.Rel(root, d.Pos.Filename); err == nil {
+				rel.Pos.Filename = r
+			}
+			if _, err := fmt.Fprintln(w, rel); err != nil {
+				return total, err
+			}
+		}
+		total += len(diags)
+	}
+	return total, nil
+}
+
+// Main is the clusterqlint entry point, factored out of package main so
+// tests can drive it. It returns the process exit code: 0 clean, 1 findings,
+// 2 usage or load failure.
+func Main(w, errw io.Writer, cwd string, args []string) int {
+	if len(args) == 0 {
+		args = []string{"./..."}
+	}
+	// Diagnostics to errw are best-effort: the exit code carries the result.
+	cwd, err := filepath.Abs(cwd)
+	if err != nil {
+		_, _ = fmt.Fprintln(errw, "clusterqlint:", err)
+		return 2
+	}
+	root, module, err := FindModule(cwd)
+	if err != nil {
+		_, _ = fmt.Fprintln(errw, "clusterqlint:", err)
+		return 2
+	}
+	dirs, err := ExpandPatterns(cwd, args)
+	if err != nil {
+		_, _ = fmt.Fprintln(errw, "clusterqlint:", err)
+		return 2
+	}
+	n, err := RunDirs(w, root, module, dirs, All())
+	if err != nil {
+		_, _ = fmt.Fprintln(errw, "clusterqlint:", err)
+		return 2
+	}
+	if n > 0 {
+		_, _ = fmt.Fprintf(errw, "clusterqlint: %d finding(s)\n", n)
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,87 @@
+package lint_test
+
+import (
+	"errors"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"clusterq/internal/lint"
+)
+
+func TestMainFindingsExitOne(t *testing.T) {
+	var out, errw strings.Builder
+	code := lint.Main(&out, &errw, "testdata/badmod", nil)
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1\nstdout:\n%s\nstderr:\n%s",
+			code, out.String(), errw.String())
+	}
+	for _, frag := range []string{"[errsink]", "[floateq]", "[simdeterm]"} {
+		if !strings.Contains(out.String(), frag) {
+			t.Errorf("output missing a %s finding:\n%s", frag, out.String())
+		}
+	}
+	if !strings.Contains(errw.String(), "finding(s)") {
+		t.Errorf("stderr missing the findings summary: %q", errw.String())
+	}
+}
+
+func TestMainCleanExitZero(t *testing.T) {
+	var out, errw strings.Builder
+	code := lint.Main(&out, &errw, "testdata/goodmod", nil)
+	if code != 0 {
+		t.Fatalf("exit code = %d, want 0\nstdout:\n%s\nstderr:\n%s",
+			code, out.String(), errw.String())
+	}
+	if out.Len() != 0 {
+		t.Errorf("clean run printed diagnostics:\n%s", out.String())
+	}
+}
+
+func TestMainNoModuleExitTwo(t *testing.T) {
+	var out, errw strings.Builder
+	code := lint.Main(&out, &errw, t.TempDir(), nil)
+	if code != 2 {
+		t.Fatalf("exit code = %d, want 2 (no go.mod anywhere above a temp dir)", code)
+	}
+	if !strings.Contains(errw.String(), "go.mod") {
+		t.Errorf("stderr should mention the missing go.mod: %q", errw.String())
+	}
+}
+
+// TestClusterqlintBinary builds the real cmd/clusterqlint binary and checks
+// its process exit code against the seeded bad fixture, end to end.
+func TestClusterqlintBinary(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a binary")
+	}
+	goBin, err := exec.LookPath("go")
+	if err != nil {
+		t.Skip("go toolchain not on PATH")
+	}
+	root, _, err := lint.FindModule(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bin := filepath.Join(t.TempDir(), "clusterqlint")
+	build := exec.Command(goBin, "build", "-o", bin, "./cmd/clusterqlint")
+	build.Dir = root
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("build: %v\n%s", err, out)
+	}
+
+	bad := exec.Command(bin, "./...")
+	bad.Dir = filepath.Join(root, "internal", "lint", "testdata", "badmod")
+	out, err := bad.CombinedOutput()
+	var exitErr *exec.ExitError
+	if !errors.As(err, &exitErr) || exitErr.ExitCode() != 1 {
+		t.Fatalf("bad fixture: err = %v, want exit code 1\n%s", err, out)
+	}
+
+	good := exec.Command(bin, "./...")
+	good.Dir = filepath.Join(root, "internal", "lint", "testdata", "goodmod")
+	if out, err := good.CombinedOutput(); err != nil {
+		t.Fatalf("good fixture: %v (want exit 0)\n%s", err, out)
+	}
+}

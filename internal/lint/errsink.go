@@ -1,0 +1,145 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// ErrSink flags writer-shaped calls whose error return is silently dropped —
+// the call appears as a bare statement, a defer, or a go statement and its
+// last result is an error. A truncated metrics file or event trace that
+// "succeeded" is exactly the bug class PR 1 fixed by hand in sim.Run's trace
+// writer; this analyzer keeps it fixed.
+//
+// Escape hatches, in preference order: handle the error; assign it to blank
+// (`_ = w.Flush()`), which is visible in review; or waive the line with
+// //lint:errsink and a reason. Exempt targets: strings.Builder and
+// bytes.Buffer (documented to never fail) and os.Stderr/os.Stdout —
+// best-effort diagnostics have nowhere to report their own failure.
+var ErrSink = &Analyzer{
+	Name: "errsink",
+	Doc: "flag discarded error returns from Write/Flush/Close/Encode-style " +
+		"calls and fmt.Fprint* / io helpers",
+	Run: runErrSink,
+}
+
+// writerMethodNames are method names whose dropped error means lost output.
+var writerMethodNames = map[string]bool{
+	"Write": true, "WriteString": true, "WriteByte": true, "WriteRune": true,
+	"WriteTo": true, "WriteCSV": true, "WriteJSON": true, "WriteASCII": true,
+	"WritePrometheus": true, "Flush": true, "Close": true, "Encode": true,
+	"Sync": true,
+}
+
+// writerPkgFuncs are package-level functions routed through an io.Writer.
+var writerPkgFuncs = map[string]map[string]bool{
+	"fmt": {"Fprint": true, "Fprintf": true, "Fprintln": true},
+	"io":  {"WriteString": true, "Copy": true, "CopyN": true, "CopyBuffer": true},
+}
+
+func runErrSink(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var call *ast.CallExpr
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				call, _ = n.X.(*ast.CallExpr)
+			case *ast.DeferStmt:
+				call = n.Call
+			case *ast.GoStmt:
+				call = n.Call
+			}
+			if call != nil {
+				checkErrSinkCall(pass, call)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func checkErrSinkCall(pass *Pass, call *ast.CallExpr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	if !returnsError(pass, call) {
+		return
+	}
+	name := sel.Sel.Name
+	if pkg := pkgOf(pass, sel); pkg != "" {
+		if writerPkgFuncs[pkg][name] && !exemptWriter(pass, firstArg(call)) {
+			pass.Reportf(call.Pos(),
+				"%s.%s error discarded: a failed write silently truncates "+
+					"output (check it, assign to _, or waive with //lint:errsink)",
+				pkg, name)
+		}
+		return
+	}
+	if writerMethodNames[name] && !exemptWriter(pass, sel.X) {
+		pass.Reportf(call.Pos(),
+			"%s error discarded: a failed write/flush/close silently "+
+				"truncates output (check it, assign to _, or waive with "+
+				"//lint:errsink)", name)
+	}
+}
+
+func firstArg(call *ast.CallExpr) ast.Expr {
+	if len(call.Args) == 0 {
+		return nil
+	}
+	return call.Args[0]
+}
+
+// exemptWriter reports whether writing to target cannot meaningfully fail:
+// strings.Builder and bytes.Buffer document that they never return an error,
+// and os.Stderr/os.Stdout are best-effort diagnostic streams with nowhere to
+// report their own failure.
+func exemptWriter(pass *Pass, target ast.Expr) bool {
+	if target == nil {
+		return false
+	}
+	if sel, ok := target.(*ast.SelectorExpr); ok {
+		if id, ok := sel.X.(*ast.Ident); ok && id.Name == "os" &&
+			(sel.Sel.Name == "Stderr" || sel.Sel.Name == "Stdout") {
+			return true
+		}
+	}
+	t := pass.exprType(target)
+	if t == nil {
+		return false
+	}
+	for {
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+			continue
+		}
+		break
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	full := named.Obj().Pkg().Path() + "." + named.Obj().Name()
+	return full == "strings.Builder" || full == "bytes.Buffer"
+}
+
+// returnsError reports whether the call's last result is of type error.
+func returnsError(pass *Pass, call *ast.CallExpr) bool {
+	tv, ok := pass.Info.Types[call]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	var last types.Type
+	switch t := tv.Type.(type) {
+	case *types.Tuple:
+		if t.Len() == 0 {
+			return false
+		}
+		last = t.At(t.Len() - 1).Type()
+	default:
+		last = t
+	}
+	named, ok := last.(*types.Named)
+	return ok && named.Obj().Pkg() == nil && named.Obj().Name() == "error"
+}

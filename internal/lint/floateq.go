@@ -1,0 +1,89 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"regexp"
+)
+
+// FloatEq flags == and != between floating-point operands, and switches on a
+// float tag. Rounding makes exact float equality a correctness trap in
+// queueing/optimization code, so comparisons must go through a tolerance
+// helper or carry an explicit //lint:floateq waiver.
+//
+// Two deliberate carve-outs keep the signal high:
+//
+//   - comparing against an exact untyped zero ("was this ever set") is
+//     allowed — zero is exactly representable and the idiom is pervasive in
+//     option structs;
+//   - _test.go files are exempt: tests assert exact values on purpose
+//     (golden outputs, identity checks).
+var FloatEq = &Analyzer{
+	Name: "floateq",
+	Doc: "flag ==/!= on float operands and switches on float tags outside " +
+		"tolerance helpers",
+	Run: runFloatEq,
+}
+
+// toleranceHelperRe matches function names that exist to compare floats with
+// a tolerance; their bodies may use exact comparisons (fast paths, NaN
+// handling).
+var toleranceHelperRe = regexp.MustCompile(`(?i)(approx|almost|close|within|toler|floateq)`)
+
+func runFloatEq(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if pass.InTestFile(fd.Pos()) || toleranceHelperRe.MatchString(fd.Name.Name) {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.BinaryExpr:
+					checkFloatCmp(pass, n)
+				case *ast.SwitchStmt:
+					if n.Tag != nil && isFloat(pass.exprType(n.Tag)) {
+						pass.Reportf(n.Pos(),
+							"switch on a float tag compares exactly: use if/else "+
+								"with a tolerance helper")
+					}
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+func checkFloatCmp(pass *Pass, b *ast.BinaryExpr) {
+	if b.Op != token.EQL && b.Op != token.NEQ {
+		return
+	}
+	if !isFloat(pass.exprType(b.X)) && !isFloat(pass.exprType(b.Y)) {
+		return
+	}
+	if isExactZero(pass, b.X) || isExactZero(pass, b.Y) {
+		return
+	}
+	pass.Reportf(b.Pos(),
+		"%s on float operands compares bit patterns: use a tolerance helper "+
+			"(or waive with //lint:floateq and a reason)", b.Op)
+}
+
+// isExactZero reports whether the expression is a compile-time constant
+// equal to zero.
+func isExactZero(pass *Pass, e ast.Expr) bool {
+	tv, ok := pass.Info.Types[e]
+	if !ok || tv.Value == nil {
+		return false
+	}
+	switch tv.Value.Kind() {
+	case constant.Int, constant.Float:
+		return constant.Sign(tv.Value) == 0
+	}
+	return false
+}

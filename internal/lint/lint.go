@@ -1,0 +1,180 @@
+// Package lint is clusterq's in-tree static-analysis suite: five analyzers
+// that enforce the repository invariants no compiler checks — simulator
+// determinism, NaN-safe numerics, the observability layer's nil-means-no-op
+// contract, unchecked writer errors, and constructor input validation.
+//
+// The API deliberately mirrors golang.org/x/tools/go/analysis (Analyzer,
+// Pass, Diagnostic) so the analyzers could migrate to the upstream framework
+// verbatim, but the implementation is standard-library only: packages are
+// parsed with go/parser and type-checked with go/types, resolving standard
+// library imports from GOROOT source and module-local imports from the
+// repository tree. See Loader.
+//
+// Suppression: any diagnostic can be waived by a comment of the form
+//
+//	//lint:<analyzer> <reason>
+//
+// on the flagged line or on the line directly above it. A reason is not
+// syntactically required but reviewers should treat a bare waiver as a bug.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// An Analyzer describes one invariant checker.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and waiver comments.
+	Name string
+	// Doc is a one-paragraph description of the enforced invariant.
+	Doc string
+	// Scope restricts the analyzer to packages whose import path ends in
+	// one of these suffixes (e.g. "internal/sim"). Empty means every
+	// package.
+	Scope []string
+	// Run reports diagnostics for one package through pass.Reportf.
+	Run func(pass *Pass) error
+}
+
+// AppliesTo reports whether the analyzer runs on the given import path.
+func (a *Analyzer) AppliesTo(pkgPath string) bool {
+	if len(a.Scope) == 0 {
+		return true
+	}
+	for _, s := range a.Scope {
+		if pkgPath == s || strings.HasSuffix(pkgPath, "/"+s) {
+			return true
+		}
+	}
+	return false
+}
+
+// A Diagnostic is one finding, positioned in the analyzed source.
+type Diagnostic struct {
+	Pos      token.Position
+	Message  string
+	Analyzer string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s [%s]", d.Pos, d.Message, d.Analyzer)
+}
+
+// A Pass carries one analyzer run over one type-checked package.
+type Pass struct {
+	Analyzer *Analyzer
+	Path     string // import path of the analyzed package
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+
+	waivers map[string]map[int]bool // filename -> line -> waived for this analyzer
+	diags   []Diagnostic
+}
+
+// waiverRe matches //lint:name1,name2 optionally followed by a reason.
+var waiverRe = regexp.MustCompile(`^//lint:([a-z0-9_,]+)(\s|$)`)
+
+// buildWaivers indexes the //lint:<name> comments of every file: a waiver
+// suppresses diagnostics of the named analyzers on its own line and on the
+// line below (the "comment above the statement" style).
+func (p *Pass) buildWaivers() {
+	p.waivers = make(map[string]map[int]bool)
+	for _, f := range p.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := waiverRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				names := strings.Split(m[1], ",")
+				covered := false
+				for _, n := range names {
+					if n == p.Analyzer.Name {
+						covered = true
+					}
+				}
+				if !covered {
+					continue
+				}
+				pos := p.Fset.Position(c.Pos())
+				lines := p.waivers[pos.Filename]
+				if lines == nil {
+					lines = make(map[int]bool)
+					p.waivers[pos.Filename] = lines
+				}
+				lines[pos.Line] = true
+				lines[pos.Line+1] = true
+			}
+		}
+	}
+}
+
+// waived reports whether a diagnostic at pos is suppressed by a waiver.
+func (p *Pass) waived(pos token.Position) bool {
+	return p.waivers[pos.Filename][pos.Line]
+}
+
+// Reportf records one diagnostic unless a //lint:<name> waiver covers it.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	if p.waived(position) {
+		return
+	}
+	p.diags = append(p.diags, Diagnostic{
+		Pos:      position,
+		Message:  fmt.Sprintf(format, args...),
+		Analyzer: p.Analyzer.Name,
+	})
+}
+
+// InTestFile reports whether pos lies in a _test.go file.
+func (p *Pass) InTestFile(pos token.Pos) bool {
+	return strings.HasSuffix(p.Fset.Position(pos).Filename, "_test.go")
+}
+
+// Run executes the analyzer over a loaded package and returns its findings
+// sorted by source position.
+func Run(a *Analyzer, pkg *Package) ([]Diagnostic, error) {
+	pass := &Pass{
+		Analyzer: a,
+		Path:     pkg.Path,
+		Fset:     pkg.Fset,
+		Files:    pkg.Files,
+		Pkg:      pkg.Types,
+		Info:     pkg.Info,
+	}
+	pass.buildWaivers()
+	if err := a.Run(pass); err != nil {
+		return nil, fmt.Errorf("%s: %w", a.Name, err)
+	}
+	sort.Slice(pass.diags, func(i, j int) bool {
+		a, b := pass.diags[i].Pos, pass.diags[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Column < b.Column
+	})
+	return pass.diags, nil
+}
+
+// All returns the full analyzer suite in stable order.
+func All() []*Analyzer {
+	return []*Analyzer{
+		SimDeterm,
+		FloatEq,
+		NilNoop,
+		ErrSink,
+		CtorValidate,
+	}
+}

@@ -1,0 +1,127 @@
+// Package linttest drives lint analyzers over fixture packages and checks
+// their diagnostics against `// want "regexp"` comments in the fixture
+// source, in the style of golang.org/x/tools/go/analysis/analysistest.
+//
+// Fixtures live in a tree whose directory layout doubles as the import-path
+// space (Loader tree mode), so an analyzer with a Scope like "internal/sim"
+// is exercised by placing the fixture under e.g. testdata/src/simdeterm/
+// internal/sim. Expectations are written at the end of the offending line:
+//
+//	total += v // want `float accumulation across a map range`
+//
+// Every diagnostic must be claimed by a want on its line, and every want
+// must be claimed by a diagnostic; scope rules are applied exactly as the
+// clusterqlint driver applies them, so an out-of-scope fixture with no want
+// comments asserts the analyzer stays silent there.
+package linttest
+
+import (
+	"go/token"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"clusterq/internal/lint"
+)
+
+// wantRe captures everything after "want" in a comment; the remainder must
+// be one or more Go-quoted strings (backquoted or double-quoted).
+var wantRe = regexp.MustCompile(`//\s*want\s+(.+)$`)
+
+type want struct {
+	pos     token.Position
+	re      *regexp.Regexp
+	matched bool
+}
+
+// Run loads each fixture package beneath root and verifies the analyzer's
+// diagnostics match the // want comments exactly.
+func Run(t *testing.T, root string, a *lint.Analyzer, pkgs ...string) {
+	t.Helper()
+	loader := lint.NewLoader("", root, true)
+	for _, path := range pkgs {
+		dir := filepath.Join(root, filepath.FromSlash(path))
+		pkg, err := loader.Load(path, dir)
+		if err != nil {
+			t.Fatalf("load %s: %v", path, err)
+		}
+		var diags []lint.Diagnostic
+		if a.AppliesTo(path) {
+			diags, err = lint.Run(a, pkg)
+			if err != nil {
+				t.Fatalf("run %s on %s: %v", a.Name, path, err)
+			}
+		}
+		wants := collectWants(t, pkg)
+		for _, d := range diags {
+			if !claim(wants, d) {
+				t.Errorf("%s: unexpected diagnostic: %s", path, d)
+			}
+		}
+		for _, w := range wants {
+			if !w.matched {
+				t.Errorf("%s:%d: want %q: no matching diagnostic",
+					w.pos.Filename, w.pos.Line, w.re)
+			}
+		}
+	}
+}
+
+// claim marks the first unmatched want on the diagnostic's line whose
+// pattern matches the message, reporting whether one was found.
+func claim(wants []*want, d lint.Diagnostic) bool {
+	for _, w := range wants {
+		if w.matched || w.pos.Filename != d.Pos.Filename || w.pos.Line != d.Pos.Line {
+			continue
+		}
+		if w.re.MatchString(d.Message) {
+			w.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+// collectWants parses every // want comment of the package into positioned
+// expectations. Comments where "want" is not followed by a quoted string are
+// ignored (ordinary prose).
+func collectWants(t *testing.T, pkg *lint.Package) []*want {
+	t.Helper()
+	var wants []*want
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				rest := strings.TrimSpace(m[1])
+				if rest == "" || (rest[0] != '"' && rest[0] != '`') {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				for rest != "" {
+					q, err := strconv.QuotedPrefix(rest)
+					if err != nil {
+						t.Fatalf("%s:%d: malformed want comment %q: %v",
+							pos.Filename, pos.Line, c.Text, err)
+					}
+					lit, err := strconv.Unquote(q)
+					if err != nil {
+						t.Fatalf("%s:%d: unquote %s: %v", pos.Filename, pos.Line, q, err)
+					}
+					re, err := regexp.Compile(lit)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want pattern %q: %v",
+							pos.Filename, pos.Line, lit, err)
+					}
+					wants = append(wants, &want{pos: pos, re: re})
+					rest = strings.TrimSpace(rest[len(q):])
+				}
+			}
+		}
+	}
+	return wants
+}

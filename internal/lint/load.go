@@ -1,0 +1,209 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// A Package is one parsed and type-checked package, ready for analysis.
+type Package struct {
+	Path  string // import path
+	Dir   string // directory the files came from
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// A Loader parses and type-checks packages without the go toolchain or
+// network access. Standard-library imports are checked from GOROOT source;
+// module-local imports are resolved inside Root.
+type Loader struct {
+	// Fset positions every file the loader touches.
+	Fset *token.FileSet
+	// Module is the module path (e.g. "clusterq"); imports under it
+	// resolve relative to Root. When empty the loader runs in tree mode:
+	// any import whose directory exists under Root resolves there — the
+	// layout linttest fixtures use.
+	Module string
+	// Root is the module root directory (or the fixture tree root).
+	Root string
+	// IncludeTests adds in-package _test.go files to loaded target
+	// packages (dependencies always load without tests).
+	IncludeTests bool
+
+	std  types.ImporterFrom
+	deps map[string]*depEntry
+}
+
+type depEntry struct {
+	pkg     *types.Package
+	err     error
+	loading bool
+}
+
+// NewLoader returns a loader rooted at the module directory.
+func NewLoader(module, root string, includeTests bool) *Loader {
+	fset := token.NewFileSet()
+	return &Loader{
+		Fset:         fset,
+		Module:       module,
+		Root:         root,
+		IncludeTests: includeTests,
+		std:          importer.ForCompiler(fset, "source", nil).(types.ImporterFrom),
+		deps:         make(map[string]*depEntry),
+	}
+}
+
+// localDir maps an import path to a directory under Root, or "" when the
+// path is not module-local.
+func (l *Loader) localDir(path string) string {
+	if l.Module != "" {
+		if path == l.Module {
+			return l.Root
+		}
+		if rest, ok := strings.CutPrefix(path, l.Module+"/"); ok {
+			return filepath.Join(l.Root, filepath.FromSlash(rest))
+		}
+		return ""
+	}
+	// Tree mode: resolve any import that exists under Root.
+	dir := filepath.Join(l.Root, filepath.FromSlash(path))
+	if st, err := os.Stat(dir); err == nil && st.IsDir() {
+		return dir
+	}
+	return ""
+}
+
+// Import implements types.Importer.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	return l.ImportFrom(path, l.Root, 0)
+}
+
+// ImportFrom implements types.ImporterFrom, routing module-local paths to
+// the tree and everything else to the GOROOT source importer.
+func (l *Loader) ImportFrom(path, dir string, mode types.ImportMode) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	local := l.localDir(path)
+	if local == "" {
+		return l.std.ImportFrom(path, dir, 0)
+	}
+	if e, ok := l.deps[path]; ok {
+		if e.loading {
+			return nil, fmt.Errorf("import cycle through %q", path)
+		}
+		return e.pkg, e.err
+	}
+	e := &depEntry{loading: true}
+	l.deps[path] = e
+	e.pkg, e.err = l.check(path, local, false)
+	e.loading = false
+	return e.pkg, e.err
+}
+
+// parseDir parses the package's .go files in name order, optionally
+// including in-package _test.go files.
+func (l *Loader) parseDir(dir string, withTests bool) ([]*ast.File, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasPrefix(name, ".") {
+			continue
+		}
+		if !withTests && strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return nil, fmt.Errorf("no Go files in %s", dir)
+	}
+	var files []*ast.File
+	var pkgName string
+	for _, name := range names {
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		// External test packages (package foo_test) are a separate
+		// compilation unit; skip their files no matter the parse order.
+		if strings.HasSuffix(f.Name.Name, "_test") {
+			continue
+		}
+		if pkgName == "" {
+			pkgName = f.Name.Name
+		}
+		if f.Name.Name != pkgName {
+			return nil, fmt.Errorf("%s: mixed packages %s and %s", dir, pkgName, f.Name.Name)
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no non-test Go files in %s", dir)
+	}
+	return files, nil
+}
+
+// check type-checks the files of one directory as the named package.
+func (l *Loader) check(path, dir string, withTests bool) (*types.Package, error) {
+	files, err := l.parseDir(dir, withTests)
+	if err != nil {
+		return nil, err
+	}
+	conf := types.Config{Importer: l}
+	info := newInfo()
+	pkg, err := conf.Check(path, l.Fset, files, info)
+	if err != nil {
+		return nil, err
+	}
+	return pkg, nil
+}
+
+func newInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Implicits:  make(map[ast.Node]types.Object),
+	}
+}
+
+// Load parses and type-checks the package in dir under the given import
+// path, including test files when the loader is configured to.
+func (l *Loader) Load(path, dir string) (*Package, error) {
+	files, err := l.parseDir(dir, l.IncludeTests)
+	if err != nil {
+		return nil, err
+	}
+	conf := types.Config{Importer: l}
+	info := newInfo()
+	pkg, err := conf.Check(path, l.Fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &Package{
+		Path:  path,
+		Dir:   dir,
+		Fset:  l.Fset,
+		Files: files,
+		Types: pkg,
+		Info:  info,
+	}, nil
+}

@@ -1,0 +1,161 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"regexp"
+	"strings"
+)
+
+// NilNoop enforces the observability layer's contract that a nil receiver is
+// a no-op: every exported pointer-receiver method in internal/obs — and on
+// any type elsewhere whose doc comment promises nil-is-a-no-op — must begin
+// with a nil-receiver guard. The contract is what lets instrumented code run
+// unconditionally with observability off; one unguarded method turns a
+// disabled probe into a panic.
+//
+// A method with an empty body or an unnamed (unused) receiver is trivially
+// nil-safe and passes. Guards must be the first statement, so the property
+// is checkable locally: `if x == nil { ... }` (possibly `||` with more
+// conditions).
+var NilNoop = &Analyzer{
+	Name: "nilnoop",
+	Doc: "exported pointer-receiver methods on nil-is-a-no-op types must " +
+		"start with a nil-receiver guard",
+	Run: runNilNoop,
+}
+
+// nilNoopDocRe recognizes type docs that promise the contract, e.g. "a nil
+// *Counter is a no-op" or "nil is a no-op".
+var nilNoopDocRe = regexp.MustCompile(`(?is)nil\s+(\*?\w+\s+)?is\s+a\s+no-op|no-op\s+on\s+a\s+nil`)
+
+func runNilNoop(pass *Pass) error {
+	wholePkg := isObsPackage(pass.Path)
+	promised := map[string]bool{}
+	if !wholePkg {
+		for _, f := range pass.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				gd, ok := n.(*ast.GenDecl)
+				if !ok || gd.Tok != token.TYPE {
+					return true
+				}
+				for _, spec := range gd.Specs {
+					ts, ok := spec.(*ast.TypeSpec)
+					if !ok {
+						continue
+					}
+					doc := ts.Doc
+					if doc == nil && len(gd.Specs) == 1 {
+						doc = gd.Doc
+					}
+					if doc != nil && nilNoopDocRe.MatchString(doc.Text()) {
+						promised[ts.Name.Name] = true
+					}
+				}
+				return true
+			})
+		}
+		if len(promised) == 0 {
+			return nil
+		}
+	}
+
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || !fd.Name.IsExported() {
+				continue
+			}
+			if pass.InTestFile(fd.Pos()) {
+				continue
+			}
+			recvName, typeName, isPtr := receiverInfo(fd)
+			if !isPtr {
+				continue
+			}
+			if !wholePkg && !promised[typeName] {
+				continue
+			}
+			if recvName == "" || recvName == "_" || fd.Body == nil || len(fd.Body.List) == 0 {
+				continue // unused receiver or empty body: trivially nil-safe
+			}
+			if !startsWithNilGuard(fd.Body, recvName) {
+				pass.Reportf(fd.Pos(),
+					"exported method (*%s).%s must start with `if %s == nil` — "+
+						"the type promises a nil receiver is a no-op",
+					typeName, fd.Name.Name, recvName)
+			}
+		}
+	}
+	return nil
+}
+
+// isObsPackage reports whether the package is the observability layer, where
+// the contract covers every exported pointer-receiver method.
+func isObsPackage(pkgPath string) bool {
+	return pkgPath == "internal/obs" || strings.HasSuffix(pkgPath, "/internal/obs")
+}
+
+// receiverInfo extracts the receiver variable name, base type name, and
+// whether the receiver is a pointer.
+func receiverInfo(fd *ast.FuncDecl) (recvName, typeName string, isPtr bool) {
+	if len(fd.Recv.List) != 1 {
+		return "", "", false
+	}
+	field := fd.Recv.List[0]
+	t := field.Type
+	if st, ok := t.(*ast.StarExpr); ok {
+		isPtr = true
+		t = st.X
+	}
+	switch x := t.(type) {
+	case *ast.Ident:
+		typeName = x.Name
+	case *ast.IndexExpr: // generic receiver T[P]
+		if id, ok := x.X.(*ast.Ident); ok {
+			typeName = id.Name
+		}
+	}
+	if len(field.Names) == 1 {
+		recvName = field.Names[0].Name
+	}
+	return recvName, typeName, isPtr
+}
+
+// startsWithNilGuard reports whether the body's first statement is an
+// if-statement whose condition checks recvName == nil (alone or as the first
+// operand of a || chain).
+func startsWithNilGuard(body *ast.BlockStmt, recvName string) bool {
+	ifStmt, ok := body.List[0].(*ast.IfStmt)
+	if !ok || ifStmt.Init != nil {
+		return false
+	}
+	return condChecksNil(ifStmt.Cond, recvName)
+}
+
+func condChecksNil(cond ast.Expr, recvName string) bool {
+	switch c := cond.(type) {
+	case *ast.BinaryExpr:
+		if c.Op == token.LOR {
+			return condChecksNil(c.X, recvName) || condChecksNil(c.Y, recvName)
+		}
+		if c.Op != token.EQL {
+			return false
+		}
+		return isIdentNamed(c.X, recvName) && isNilIdent(c.Y) ||
+			isIdentNamed(c.Y, recvName) && isNilIdent(c.X)
+	case *ast.ParenExpr:
+		return condChecksNil(c.X, recvName)
+	}
+	return false
+}
+
+func isIdentNamed(e ast.Expr, name string) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == name
+}
+
+func isNilIdent(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "nil"
+}

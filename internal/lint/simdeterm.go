@@ -1,0 +1,200 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// SimDeterm enforces bit-reproducibility of the discrete-event simulator:
+// inside internal/sim and internal/core no wall-clock reads, no global
+// math/rand stream, and no map iteration whose order can leak into results
+// (float accumulation, slice building, or event scheduling inside a map
+// range). These are the three classic sources of run-to-run drift in a DES;
+// the probe-identity and cross-GOMAXPROCS tests catch instances after the
+// fact, this analyzer rejects them at review time.
+var SimDeterm = &Analyzer{
+	Name: "simdeterm",
+	Doc: "forbid wall-clock time, the global math/rand stream, and " +
+		"order-sensitive map iteration in simulation packages",
+	Scope: []string{"internal/sim", "internal/core"},
+	Run:   runSimDeterm,
+}
+
+// wallClockFuncs are the time package functions that read the wall clock or
+// schedule on it. time.Duration arithmetic and constants stay allowed.
+var wallClockFuncs = map[string]bool{
+	"Now": true, "Since": true, "Until": true, "After": true,
+	"AfterFunc": true, "Tick": true, "NewTicker": true, "NewTimer": true,
+}
+
+// randConstructors are the math/rand functions that build seeded private
+// streams — the deterministic way to use the package.
+var randConstructors = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true, "NewPCG": true,
+	"NewChaCha8": true,
+}
+
+func runSimDeterm(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				checkDetCall(pass, n)
+			case *ast.RangeStmt:
+				checkMapRange(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// pkgOf resolves a selector's base identifier to an imported package name,
+// or "" when the selector is not a package qualifier.
+func pkgOf(pass *Pass, sel *ast.SelectorExpr) string {
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return ""
+	}
+	if pn, ok := pass.Info.Uses[id].(*types.PkgName); ok {
+		return pn.Imported().Path()
+	}
+	return ""
+}
+
+func checkDetCall(pass *Pass, call *ast.CallExpr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	switch pkgOf(pass, sel) {
+	case "time":
+		if wallClockFuncs[sel.Sel.Name] {
+			pass.Reportf(call.Pos(),
+				"time.%s reads the wall clock: simulation code must be "+
+					"deterministic from its seed (use simulated time)",
+				sel.Sel.Name)
+		}
+	case "math/rand", "math/rand/v2":
+		if !randConstructors[sel.Sel.Name] {
+			pass.Reportf(call.Pos(),
+				"rand.%s uses the global math/rand stream: derive a seeded "+
+					"generator (sim.NewRNG or rand.New) instead",
+				sel.Sel.Name)
+		}
+	}
+}
+
+// checkMapRange flags ranging over a map when the loop body accumulates
+// floats into, or appends to, state declared outside the loop, or schedules
+// events — all places where Go's randomized map order becomes visible in
+// results.
+func checkMapRange(pass *Pass, rng *ast.RangeStmt) {
+	tv, ok := pass.Info.Types[rng.X]
+	if !ok {
+		return
+	}
+	if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+		return
+	}
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			switch n.Tok {
+			case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+				for _, lhs := range n.Lhs {
+					if isFloat(pass.exprType(lhs)) && declaredBefore(pass, lhs, rng.Pos()) {
+						pass.Reportf(n.Pos(),
+							"float accumulation across a map range: iteration "+
+								"order perturbs the rounding (collect keys and sort, "+
+								"or accumulate over a slice)")
+						return false
+					}
+				}
+			case token.ASSIGN:
+				for i, rhs := range n.Rhs {
+					if call, ok := rhs.(*ast.CallExpr); ok && isBuiltinAppend(pass, call) &&
+						i < len(n.Lhs) && declaredBefore(pass, n.Lhs[i], rng.Pos()) {
+						pass.Reportf(n.Pos(),
+							"append inside a map range builds an order-dependent "+
+								"slice: collect keys and sort before iterating")
+						return false
+					}
+				}
+			}
+		case *ast.CallExpr:
+			if sel, ok := n.Fun.(*ast.SelectorExpr); ok && schedulingNames[sel.Sel.Name] {
+				pass.Reportf(n.Pos(),
+					"event scheduling (%s) inside a map range makes the event "+
+						"order depend on map iteration: sort the keys first",
+					sel.Sel.Name)
+				return false
+			}
+		}
+		return true
+	})
+}
+
+// schedulingNames are method names that enqueue simulator events; calling
+// them per map entry bakes map order into the event calendar.
+var schedulingNames = map[string]bool{
+	"at": true, "push": true, "Push": true, "schedule": true, "Schedule": true,
+}
+
+func (p *Pass) exprType(e ast.Expr) types.Type {
+	if tv, ok := p.Info.Types[e]; ok {
+		return tv.Type
+	}
+	if id, ok := e.(*ast.Ident); ok {
+		if obj := p.Info.Uses[id]; obj != nil {
+			return obj.Type()
+		}
+		if obj := p.Info.Defs[id]; obj != nil {
+			return obj.Type()
+		}
+	}
+	return nil
+}
+
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+// declaredBefore reports whether the expression is (or dereferences to) an
+// object declared before pos — i.e. state that outlives the loop body.
+func declaredBefore(pass *Pass, e ast.Expr, pos token.Pos) bool {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			obj := pass.Info.Uses[x]
+			if obj == nil {
+				obj = pass.Info.Defs[x]
+			}
+			return obj != nil && obj.Pos() < pos
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		default:
+			return false
+		}
+	}
+}
+
+func isBuiltinAppend(pass *Pass, call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	_, isBuiltin := pass.Info.Uses[id].(*types.Builtin)
+	return isBuiltin && id.Name == "append"
+}

@@ -1,0 +1,16 @@
+// Package badmod seeds one violation per universally-scoped analyzer so the
+// driver tests can assert a non-zero exit code.
+package badmod
+
+import (
+	"fmt"
+	"io"
+)
+
+func Dump(w io.Writer) {
+	fmt.Fprintln(w, "unchecked") // errsink violation
+}
+
+func Same(a, b float64) bool {
+	return a == b // floateq violation
+}

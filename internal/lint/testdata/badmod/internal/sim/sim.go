@@ -1,0 +1,7 @@
+package sim
+
+import "time"
+
+func Stamp() time.Time {
+	return time.Now() // simdeterm violation
+}

@@ -1,0 +1,3 @@
+module goodmod
+
+go 1.24

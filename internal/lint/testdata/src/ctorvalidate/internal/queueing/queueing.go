@@ -1,0 +1,89 @@
+package queueing
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+type Queue struct {
+	lambda float64
+	mu     float64
+}
+
+func NewUnchecked(lambda float64) *Queue { // want `constructor NewUnchecked does not validate float64 parameter "lambda"`
+	return &Queue{lambda: lambda}
+}
+
+func NewNaNBlind(mu float64) (*Queue, error) { // want `constructor NewNaNBlind does not validate float64 parameter "mu"`
+	if mu < 0 { // plain < lets NaN through: not a validation
+		return nil, errors.New("negative mu")
+	}
+	return &Queue{mu: mu}, nil
+}
+
+func NewRaw(rates []float64) *Queue { // want `constructor NewRaw does not validate \[\]float64 parameter "rates"`
+	return &Queue{lambda: rates[0]}
+}
+
+func NewNegated(lambda float64) (*Queue, error) {
+	if !(lambda > 0) || math.IsInf(lambda, 1) { // NaN-safe: NaN fails the inner comparison
+		return nil, fmt.Errorf("invalid rate %g", lambda)
+	}
+	return &Queue{lambda: lambda}, nil
+}
+
+func NewExplicit(mu float64) (*Queue, error) {
+	if math.IsNaN(mu) || math.IsInf(mu, 0) || mu <= 0 {
+		return nil, errors.New("invalid service rate")
+	}
+	return &Queue{mu: mu}, nil
+}
+
+func NewPool(rates []float64) (*Queue, error) {
+	for _, r := range rates {
+		if !(r > 0) {
+			return nil, fmt.Errorf("invalid rate %g", r)
+		}
+	}
+	return &Queue{lambda: rates[0]}, nil
+}
+
+func NewScaled(rates []float64, factor float64) (*Queue, error) {
+	if !(factor > 0) {
+		return nil, errors.New("invalid factor")
+	}
+	rs := append([]float64(nil), rates...) // defensive copy aliases the parameter
+	return NewPool(rs)
+}
+
+func NewViaHelper(lambda float64) (*Queue, error) {
+	if err := checkRate(lambda); err != nil {
+		return nil, err
+	}
+	return &Queue{lambda: lambda}, nil
+}
+
+func checkRate(x float64) error {
+	if math.IsNaN(x) || !(x >= 0) {
+		return errors.New("invalid rate")
+	}
+	return nil
+}
+
+func NewSized(n int) *Queue { // non-float parameters are out of scope
+	return &Queue{lambda: float64(n)}
+}
+
+func newInternal(lambda float64) *Queue { // unexported: out of scope
+	return &Queue{lambda: lambda}
+}
+
+func Clone(q *Queue, scale float64) *Queue { // not a New*/Must* constructor
+	return &Queue{lambda: q.lambda * scale, mu: q.mu}
+}
+
+//lint:ctorvalidate fixture: dimensionless ratio, waiver must suppress
+func NewWaived(ratio float64) *Queue {
+	return &Queue{lambda: ratio}
+}

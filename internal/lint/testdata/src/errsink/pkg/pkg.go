@@ -1,0 +1,62 @@
+package pkg
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+)
+
+func dropFprintf(w io.Writer) {
+	fmt.Fprintf(w, "x=%d\n", 1) // want `fmt\.Fprintf error discarded`
+}
+
+func dropCopy(dst io.Writer, src io.Reader) {
+	io.Copy(dst, src) // want `io\.Copy error discarded`
+}
+
+func dropFlush(w *bufio.Writer) {
+	w.Flush() // want `Flush error discarded`
+}
+
+func dropDeferredClose(f *os.File) {
+	defer f.Close() // want `Close error discarded`
+	fmt.Println("working")
+}
+
+func dropEncode(w io.Writer, v any) {
+	json.NewEncoder(w).Encode(v) // want `Encode error discarded`
+}
+
+func blankAssign(w *bufio.Writer) {
+	_ = w.Flush() // visible discard: allowed
+}
+
+func checked(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "done"); err != nil {
+		return err
+	}
+	return nil
+}
+
+func builderNeverFails() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "n=%d", 2) // strings.Builder cannot fail: allowed
+	return sb.String()
+}
+
+func bufferNeverFails(b *bytes.Buffer) {
+	b.WriteString("x") // bytes.Buffer cannot fail: allowed
+}
+
+func stderrBestEffort() {
+	fmt.Fprintln(os.Stderr, "diagnostic") // best-effort stream: allowed
+}
+
+func waived(w io.Writer) {
+	//lint:errsink fixture: best-effort write, waiver must suppress
+	fmt.Fprintln(w, "best effort")
+}

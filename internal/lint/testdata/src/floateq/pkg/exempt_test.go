@@ -1,0 +1,5 @@
+package pkg
+
+func exactInTest(a, b float64) bool {
+	return a == b // _test.go files assert exact values on purpose: exempt
+}

@@ -1,0 +1,42 @@
+package pkg
+
+func equalBad(a, b float64) bool {
+	return a == b // want `== on float operands compares bit patterns`
+}
+
+func notEqualBad(a, b float64) bool {
+	return a != b // want `!= on float operands compares bit patterns`
+}
+
+func switchBad(x float64) int {
+	switch x { // want `switch on a float tag compares exactly`
+	case 1:
+		return 1
+	default:
+		return 0
+	}
+}
+
+func zeroProbe(x float64) bool {
+	return x == 0 // exact zero is representable: allowed
+}
+
+func intCompare(a, b int) bool {
+	return a == b // not floats: allowed
+}
+
+func almostEqual(a, b float64) bool {
+	if a == b { // tolerance helper by name: exempt
+		return true
+	}
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d < 1e-9
+}
+
+func waivedCompare(a, b float64) bool {
+	//lint:floateq fixture: deliberate exact compare
+	return a == b
+}

@@ -1,0 +1,22 @@
+// Package docpkg checks the doc-comment trigger: outside internal/obs only
+// types that promise nil-is-a-no-op are held to the guard requirement.
+package docpkg
+
+// A Probe records samples. A nil *Probe is a no-op.
+type Probe struct{ xs []float64 }
+
+func (p *Probe) Record(x float64) { // want `exported method \(\*Probe\)\.Record must start with`
+	p.xs = append(p.xs, x)
+}
+
+func (p *Probe) Len() int {
+	if p == nil {
+		return 0
+	}
+	return len(p.xs)
+}
+
+// Plain makes no promise about nil receivers.
+type Plain struct{ n int }
+
+func (p *Plain) Bump() { p.n++ } // no contract: allowed

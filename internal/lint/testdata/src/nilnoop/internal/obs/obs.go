@@ -1,0 +1,34 @@
+// Package obs mimics the observability layer: every exported
+// pointer-receiver method must tolerate a nil receiver.
+package obs
+
+type Counter struct{ n int64 }
+
+func (c *Counter) Inc() { // want `exported method \(\*Counter\)\.Inc must start with`
+	c.n++
+}
+
+func (c *Counter) Add(d int64) {
+	if c == nil {
+		return
+	}
+	c.n += d
+}
+
+func (c *Counter) AddIf(d int64, ok bool) {
+	if c == nil || !ok { // guard may share a || chain: allowed
+		return
+	}
+	c.n += d
+}
+
+func (c *Counter) Reset() {} // empty body is trivially nil-safe: allowed
+
+func (*Counter) Kind() string { return "counter" } // unused receiver: allowed
+
+func (c Counter) Snapshot() int64 { return c.n } // value receiver: allowed
+
+func (c *Counter) bump() { c.n++ } // unexported: outside the contract
+
+//lint:nilnoop fixture: waiver on the line above must suppress
+func (c *Counter) Waived() { c.n++ }

@@ -1,0 +1,66 @@
+package sim
+
+import (
+	"math/rand"
+	"time"
+)
+
+type calendar struct{ events []float64 }
+
+func (c *calendar) schedule(t float64) { c.events = append(c.events, t) }
+
+func wallClock() time.Duration {
+	t0 := time.Now()      // want `time\.Now reads the wall clock`
+	return time.Since(t0) // want `time\.Since reads the wall clock`
+}
+
+func globalStream() float64 {
+	return rand.Float64() // want `rand\.Float64 uses the global math/rand stream`
+}
+
+func seededStream(seed int64) float64 {
+	r := rand.New(rand.NewSource(seed)) // constructors build private streams: allowed
+	return r.Float64()
+}
+
+func durationMath(d time.Duration) time.Duration {
+	return 2 * d // Duration arithmetic never reads the clock: allowed
+}
+
+func sumOverMap(m map[string]float64) float64 {
+	total := 0.0
+	for _, v := range m {
+		total += v // want `float accumulation across a map range`
+	}
+	return total
+}
+
+func buildOverMap(m map[string]float64) []float64 {
+	var xs []float64
+	for _, v := range m {
+		xs = append(xs, v) // want `append inside a map range builds an order-dependent slice`
+	}
+	return xs
+}
+
+func scheduleOverMap(c *calendar, m map[string]float64) {
+	for _, v := range m {
+		c.schedule(v) // want `event scheduling \(schedule\) inside a map range`
+	}
+}
+
+func countOverMap(m map[string]float64) int {
+	n := 0
+	for range m {
+		n++ // order-independent counting: allowed
+	}
+	return n
+}
+
+func sumOverSlice(xs []float64) float64 {
+	total := 0.0
+	for _, v := range xs {
+		total += v // slice iteration order is fixed: allowed
+	}
+	return total
+}

@@ -1,0 +1,14 @@
+package sim
+
+import "time"
+
+func waivedClock() time.Time {
+	//lint:simdeterm fixture: waiver on the line above must suppress
+	return time.Now()
+}
+
+//lint:simdeterm fixture: the waiver only reaches one line down
+func tooFarAbove() time.Time {
+	_ = 0
+	return time.Now() // want `time\.Now reads the wall clock`
+}

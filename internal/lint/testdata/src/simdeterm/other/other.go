@@ -1,0 +1,7 @@
+// Package other sits outside internal/sim and internal/core, so simdeterm
+// must not apply here at all.
+package other
+
+import "time"
+
+func Stamp() time.Time { return time.Now() }

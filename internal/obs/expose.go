@@ -52,8 +52,11 @@ func (r *Registry) Snapshot() []Snapshot {
 }
 
 // WriteJSON writes the registry as a JSON document {"metrics": [...]} with
-// one Snapshot per metric.
+// one Snapshot per metric. A nil registry writes nothing.
 func (r *Registry) WriteJSON(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(struct {
@@ -63,8 +66,12 @@ func (r *Registry) WriteJSON(w io.Writer) error {
 
 // WritePrometheus writes the registry in the Prometheus text exposition
 // format (version 0.0.4): HELP/TYPE comment lines followed by samples, with
-// histogram buckets expanded to cumulative `le`-labelled series.
+// histogram buckets expanded to cumulative `le`-labelled series. A nil
+// registry writes nothing.
 func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
 	for _, s := range r.Snapshot() {
 		if s.Help != "" {
 			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", s.Name, s.Help); err != nil {

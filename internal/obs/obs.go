@@ -29,7 +29,12 @@ type Counter struct {
 }
 
 // Inc adds one to the counter.
-func (c *Counter) Inc() { c.Add(1) }
+func (c *Counter) Inc() {
+	if c == nil {
+		return
+	}
+	c.Add(1)
+}
 
 // Add increases the counter by n (n < 0 is ignored: counters are monotone).
 func (c *Counter) Add(n int64) {
@@ -340,6 +345,9 @@ func (r *Registry) Names() []string {
 
 // SortedNames returns the registered metric names sorted lexically.
 func (r *Registry) SortedNames() []string {
+	if r == nil {
+		return nil
+	}
 	names := r.Names()
 	sort.Strings(names)
 	return names

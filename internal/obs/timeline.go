@@ -115,6 +115,9 @@ func (t *Timeline) Values(name string) []float64 {
 // uniform sampling this estimates the signal's time average. NaN when the
 // series is unknown or empty.
 func (t *Timeline) Mean(name string) float64 {
+	if t == nil {
+		return math.NaN()
+	}
 	vs := t.Values(name)
 	if len(vs) == 0 {
 		return math.NaN()
@@ -129,6 +132,9 @@ func (t *Timeline) Mean(name string) float64 {
 // Max returns the largest value of the named series, or NaN when unknown or
 // empty.
 func (t *Timeline) Max(name string) float64 {
+	if t == nil {
+		return math.NaN()
+	}
 	vs := t.Values(name)
 	if len(vs) == 0 {
 		return math.NaN()
@@ -145,6 +151,9 @@ func (t *Timeline) Max(name string) float64 {
 // Last returns the most recent value of the named series, or NaN when
 // unknown or empty.
 func (t *Timeline) Last(name string) float64 {
+	if t == nil {
+		return math.NaN()
+	}
 	vs := t.Values(name)
 	if len(vs) == 0 {
 		return math.NaN()
@@ -153,8 +162,11 @@ func (t *Timeline) Last(name string) float64 {
 }
 
 // WriteCSV writes the timeline as CSV: a `time,<series...>` header followed
-// by one row per sample.
+// by one row per sample. A nil timeline writes nothing.
 func (t *Timeline) WriteCSV(w io.Writer) error {
+	if t == nil {
+		return nil
+	}
 	if _, err := io.WriteString(w, "time"); err != nil {
 		return err
 	}
@@ -194,8 +206,11 @@ type seriesJSON struct {
 }
 
 // MarshalJSON renders the timeline as {"times": [...], "series": [{name,
-// values}, ...]} preserving column order.
+// values}, ...]} preserving column order. A nil timeline renders as null.
 func (t *Timeline) MarshalJSON() ([]byte, error) {
+	if t == nil {
+		return []byte("null"), nil
+	}
 	doc := timelineJSON{Times: t.times}
 	for i, n := range t.names {
 		doc.Series = append(doc.Series, seriesJSON{Name: n, Values: t.cols[i]})

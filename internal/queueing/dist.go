@@ -102,9 +102,10 @@ type HyperExp struct {
 	M1, M2 float64 // phase means
 }
 
-// NewHyperExp constructs a two-phase hyperexponential distribution.
+// NewHyperExp constructs a two-phase hyperexponential distribution. The
+// negated comparisons also reject NaN, which fails every ordered comparison.
 func NewHyperExp(p, m1, m2 float64) HyperExp {
-	if p <= 0 || p >= 1 {
+	if !(p > 0) || !(p < 1) {
 		panic(fmt.Sprintf("queueing: HyperExp phase probability %g out of (0,1)", p))
 	}
 	mustPositiveMean("HyperExp", m1)
@@ -117,8 +118,8 @@ func NewHyperExp(p, m1, m2 float64) HyperExp {
 // exponential behaviour).
 func NewHyperExpCV2(mean, cv2 float64) HyperExp {
 	mustPositiveMean("HyperExp", mean)
-	if cv2 < 1 {
-		panic(fmt.Sprintf("queueing: hyperexponential requires CV² ≥ 1, got %g", cv2))
+	if !(cv2 >= 1) || math.IsInf(cv2, 1) {
+		panic(fmt.Sprintf("queueing: hyperexponential requires finite CV² ≥ 1, got %g", cv2))
 	}
 	// Balanced means: p/m1 = (1-p)/m2. Standard construction.
 	p := 0.5 * (1 + math.Sqrt((cv2-1)/(cv2+1)))
@@ -145,9 +146,10 @@ func (h HyperExp) String() string {
 // Uniform is a uniform service distribution on [Lo, Hi].
 type Uniform struct{ Lo, Hi float64 }
 
-// NewUniform returns a uniform service distribution on [lo, hi].
+// NewUniform returns a uniform service distribution on [lo, hi]. The
+// negated comparisons also reject NaN endpoints.
 func NewUniform(lo, hi float64) Uniform {
-	if lo < 0 || hi <= lo {
+	if !(lo >= 0) || !(hi > lo) || math.IsInf(hi, 1) {
 		panic(fmt.Sprintf("queueing: invalid uniform range [%g,%g]", lo, hi))
 	}
 	return Uniform{Lo: lo, Hi: hi}

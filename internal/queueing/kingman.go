@@ -68,9 +68,10 @@ type MMcK struct {
 	probs      []float64 // steady-state p_0..p_K
 }
 
-// NewMMcK validates parameters and precomputes the steady-state distribution.
+// NewMMcK validates parameters and precomputes the steady-state
+// distribution. The negated comparisons also reject NaN rates.
 func NewMMcK(lambda, mu float64, c, k int) (*MMcK, error) {
-	if lambda < 0 || mu <= 0 || c < 1 || k < c {
+	if !(lambda >= 0) || !(mu > 0) || math.IsInf(lambda, 1) || math.IsInf(mu, 1) || c < 1 || k < c {
 		return nil, fmt.Errorf("queueing: invalid M/M/c/K parameters λ=%g μ=%g c=%d K=%d", lambda, mu, c, k)
 	}
 	q := &MMcK{Lambda: lambda, Mu: mu, C: c, K: k}

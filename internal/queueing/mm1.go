@@ -11,9 +11,11 @@ type MM1 struct {
 	Lambda, Mu float64
 }
 
-// NewMM1 validates the parameters and returns the queue descriptor.
+// NewMM1 validates the parameters and returns the queue descriptor. The
+// negated comparisons reject NaN as well: NaN fails every ordered
+// comparison, so `lambda < 0` alone would wave it through.
 func NewMM1(lambda, mu float64) (MM1, error) {
-	if lambda < 0 || mu <= 0 {
+	if !(lambda >= 0) || !(mu > 0) || math.IsInf(lambda, 1) || math.IsInf(mu, 1) {
 		return MM1{}, fmt.Errorf("queueing: invalid M/M/1 parameters λ=%g μ=%g", lambda, mu)
 	}
 	return MM1{Lambda: lambda, Mu: mu}, nil
@@ -83,8 +85,8 @@ type MG1 struct {
 
 // NewMG1 validates and returns an M/G/1 descriptor.
 func NewMG1(lambda float64, s ServiceDist) (MG1, error) {
-	if lambda < 0 {
-		return MG1{}, fmt.Errorf("queueing: negative arrival rate %g", lambda)
+	if !(lambda >= 0) || math.IsInf(lambda, 1) {
+		return MG1{}, fmt.Errorf("queueing: invalid arrival rate %g", lambda)
 	}
 	if s == nil || !(s.Mean() > 0) {
 		return MG1{}, fmt.Errorf("queueing: invalid service distribution %v", s)

@@ -41,9 +41,10 @@ type MMc struct {
 	C          int
 }
 
-// NewMMc validates the parameters and returns the queue descriptor.
+// NewMMc validates the parameters and returns the queue descriptor. The
+// negated comparisons also reject NaN rates.
 func NewMMc(lambda, mu float64, c int) (MMc, error) {
-	if lambda < 0 || mu <= 0 || c < 1 {
+	if !(lambda >= 0) || !(mu > 0) || math.IsInf(lambda, 1) || math.IsInf(mu, 1) || c < 1 {
 		return MMc{}, fmt.Errorf("queueing: invalid M/M/c parameters λ=%g μ=%g c=%d", lambda, mu, c)
 	}
 	return MMc{Lambda: lambda, Mu: mu, C: c}, nil

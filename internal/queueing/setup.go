@@ -19,10 +19,11 @@ type MG1Setup struct {
 	Setup   ServiceDist
 }
 
-// NewMG1Setup validates and returns the descriptor.
+// NewMG1Setup validates and returns the descriptor. The negated comparison
+// also rejects a NaN arrival rate.
 func NewMG1Setup(lambda float64, service, setup ServiceDist) (MG1Setup, error) {
-	if lambda < 0 {
-		return MG1Setup{}, fmt.Errorf("queueing: negative arrival rate %g", lambda)
+	if !(lambda >= 0) || math.IsInf(lambda, 1) {
+		return MG1Setup{}, fmt.Errorf("queueing: invalid arrival rate %g", lambda)
 	}
 	if service == nil || !(service.Mean() > 0) {
 		return MG1Setup{}, fmt.Errorf("queueing: invalid service distribution")

@@ -1,0 +1,93 @@
+package sim
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"clusterq/internal/cluster"
+	"clusterq/internal/queueing"
+)
+
+// TestResultIdenticalAcrossGOMAXPROCS pins the simulator's bit-reproducibility
+// contract: replications run concurrently, but each replication's seed fully
+// determines its output, so the aggregated Result must hash identically no
+// matter how much parallelism the runtime grants.
+func TestResultIdenticalAcrossGOMAXPROCS(t *testing.T) {
+	classes := []cluster.Class{{Name: "hi", Lambda: 0.3}, {Name: "lo", Lambda: 0.4}}
+	demands := []queueing.Demand{{Work: 1, CV2: 1}, {Work: 1.5, CV2: 2}}
+	c := oneTier(2, 1, queueing.NonPreemptive, classes, demands)
+	quantiles := []float64{0.9, 0.95}
+	opts := Options{
+		Horizon:      3000,
+		Replications: 6,
+		Seed:         42,
+		Quantiles:    quantiles,
+		Probe:        &Probe{Period: 10},
+	}
+
+	prev := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(prev)
+
+	hashes := make(map[int]string)
+	for _, procs := range []int{1, 2, 4} {
+		runtime.GOMAXPROCS(procs)
+		res, err := Run(c, opts)
+		if err != nil {
+			t.Fatalf("GOMAXPROCS=%d: %v", procs, err)
+		}
+		hashes[procs] = hashResult(res, quantiles)
+	}
+
+	base := hashes[1]
+	for _, procs := range []int{2, 4} {
+		if hashes[procs] != base {
+			t.Errorf("Result hash differs: GOMAXPROCS=1 %s vs GOMAXPROCS=%d %s",
+				base, procs, hashes[procs])
+		}
+	}
+}
+
+// hashResult digests every numeric field of a Result bit-exactly ('x' format
+// preserves the full float bit pattern; a tolerance would hide real drift).
+func hashResult(res *Result, quantiles []float64) string {
+	var sb strings.Builder
+	put := func(vals ...float64) {
+		for _, v := range vals {
+			sb.WriteString(strconv.FormatFloat(v, 'x', -1, 64))
+			sb.WriteByte(',')
+		}
+	}
+	for k := range res.Delay {
+		put(res.Delay[k].Mean, res.Delay[k].HalfW)
+		put(res.EnergyPerRequest[k].Mean, res.EnergyPerRequest[k].HalfW)
+		fmt.Fprintf(&sb, "c%d,", res.Completed[k])
+		for _, p := range quantiles {
+			put(res.DelayQuantile[k][p])
+		}
+	}
+	put(res.WeightedDelay.Mean, res.WeightedDelay.HalfW)
+	put(res.TotalPower.Mean, res.TotalPower.HalfW)
+	for _, tr := range res.Tiers {
+		sb.WriteString(tr.Name)
+		put(tr.Utilization.Mean, tr.Utilization.HalfW)
+		put(tr.Power.Mean, tr.Power.HalfW)
+		for _, w := range tr.WaitByClass {
+			put(w.Mean, w.HalfW)
+		}
+	}
+	names := make([]string, 0, len(res.EventCounts))
+	for name := range res.EventCounts {
+		//lint:simdeterm keys are sorted immediately below, so map order cannot leak
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fmt.Fprintf(&sb, "%s=%d,", name, res.EventCounts[name])
+	}
+	return fmt.Sprintf("%x", sha256.Sum256([]byte(sb.String())))
+}

@@ -30,6 +30,7 @@ type eventHeap []*event
 
 func (h eventHeap) Len() int { return len(h) }
 func (h eventHeap) Less(i, j int) bool {
+	//lint:floateq deliberate exact compare: bitwise-equal times fall through to the seq tie-break
 	if h[i].time != h[j].time {
 		return h[i].time < h[j].time
 	}

@@ -46,6 +46,7 @@ type fjHeap []fjEvent
 
 func (h fjHeap) Len() int { return len(h) }
 func (h fjHeap) Less(i, j int) bool {
+	//lint:floateq deliberate exact compare: bitwise-equal times fall through to the seq tie-break
 	if h[i].time != h[j].time {
 		return h[i].time < h[j].time
 	}

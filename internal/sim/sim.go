@@ -1,6 +1,8 @@
 package sim
 
 import (
+	"math"
+
 	"clusterq/internal/cluster"
 	"clusterq/internal/obs"
 	"clusterq/internal/queueing"
@@ -251,7 +253,7 @@ func (s *simulator) handleControl() {
 	now := s.cal.now
 	for _, st := range s.stations {
 		util := st.epochBusy.MeanAt(now) / float64(st.servers)
-		if util != util { // NaN: zero-length epoch
+		if math.IsNaN(util) { // zero-length epoch
 			util = float64(len(st.running)) / float64(st.servers)
 		}
 		obs := Observation{
@@ -309,6 +311,7 @@ func (s *simulator) handleSetupDone(e *event) {
 // segment at the old speed, then resumes at the new one with its departure
 // rescheduled from the remaining work.
 func (s *simulator) setSpeed(st *simStation, now, speed float64) {
+	//lint:floateq deliberate exact compare: skip the reschedule only when the controller hands back the identical speed
 	if speed == st.speed {
 		return
 	}

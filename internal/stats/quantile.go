@@ -155,6 +155,7 @@ func (s *QuantileSet) Add(x float64) {
 // no estimator was configured for p.
 func (s *QuantileSet) Value(p float64) float64 {
 	for _, e := range s.est {
+		//lint:floateq deliberate exact compare: p is a lookup key copied verbatim from configuration
 		if e.p == p {
 			return e.Value()
 		}
