@@ -98,6 +98,10 @@ type (
 	SleepConfig = sim.SleepConfig
 )
 
+// ZeroWarmup requests a simulation with no warmup discard (an explicit
+// SimOptions.Warmup of 0 still means "use the default"; see sim.ZeroWarmup).
+const ZeroWarmup = sim.ZeroWarmup
+
 // Observability types (see the "Observability" section in README.md).
 type (
 	// SimProbe attaches periodic time-series sampling and event counters

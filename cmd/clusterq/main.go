@@ -35,6 +35,7 @@ func main() {
 		csvDir     = flag.String("csv", "", "directory to write per-table CSV files into")
 		seed       = flag.Uint64("seed", 0, "seed offset for all simulations")
 		parallel   = flag.Bool("parallel", false, "run independent experiments concurrently (wall-time figures in E9/E17 will be inflated)")
+		workers    = flag.Int("sweep-workers", 0, "max concurrent sweep points within one experiment (0 = one per CPU, 1 = serial); results are identical at every setting")
 		progress   = flag.Bool("progress", false, "print a periodic experiment-progress heartbeat to stderr")
 		metricsOut = flag.String("metrics-out", "", "write per-experiment wall-time metrics to this file (.prom/.txt for Prometheus text, else JSON)")
 	)
@@ -63,7 +64,7 @@ func main() {
 		toRun = append(toRun, e)
 	}
 
-	cfg := experiments.Config{Quick: *quick, Seed: *seed}
+	cfg := experiments.Config{Quick: *quick, Seed: *seed, Workers: *workers}
 
 	reg := obs.NewRegistry()
 	var completed atomic.Int64

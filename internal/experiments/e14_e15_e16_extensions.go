@@ -30,21 +30,24 @@ func (E14) Run(cfg Config) ([]*Table, error) {
 	mus := []float64{8, 3, 1.5} // heterogeneous pool rates
 	capTotal := 12.5
 
-	t := NewTable("mean delay (s) of the split policies; pools μ = 8/3/1.5",
-		"load", "λ (req/s)", "optimal", "proportional", "equal", "active pools", "optimal (sim)")
-	for _, frac := range []float64{0.2, 0.4, 0.6, 0.8, 0.92} {
-		lam := frac * capTotal
+	fracs := []float64{0.2, 0.4, 0.6, 0.8, 0.92}
+	type point struct {
+		dOpt, dProp, dEq, sim float64
+		active                int
+	}
+	points, err := sweep(cfg, len(fracs), func(pi int) (point, error) {
+		lam := fracs[pi] * capTotal
 		x, dOpt, err := queueing.OptimalSplit(lam, mus)
 		if err != nil {
-			return nil, err
+			return point{}, err
 		}
 		dProp, err := queueing.SplitDelay(lam, mus, queueing.ProportionalSplit(lam, mus))
 		if err != nil {
-			return nil, err
+			return point{}, err
 		}
 		dEq, err := queueing.SplitDelay(lam, mus, queueing.EqualSplit(lam, len(mus)))
 		if err != nil {
-			return nil, err
+			return point{}, err
 		}
 		// Simulate the optimal split: each pool is an independent M/M/1
 		// at its assigned rate; the overall mean delay is the rate-
@@ -58,13 +61,23 @@ func (E14) Run(cfg Config) ([]*Table, error) {
 			pool.Classes[0].Lambda = xi
 			res, err := sim.Run(pool, sim.Options{Horizon: horizon, Replications: reps, Seed: cfg.Seed + 14 + uint64(i)})
 			if err != nil {
-				return nil, err
+				return point{}, err
 			}
 			simNum += xi * res.Delay[0].Mean
 		}
-		simDelay := simNum / lam
-
-		t.AddRow(frac, lam, dOpt, dProp, Cell(dEq), len(queueing.ActivePools(x, mus)), Cell(simDelay))
+		return point{
+			dOpt: dOpt, dProp: dProp, dEq: dEq, sim: simNum / lam,
+			active: len(queueing.ActivePools(x, mus)),
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	t := NewTable("mean delay (s) of the split policies; pools μ = 8/3/1.5",
+		"load", "λ (req/s)", "optimal", "proportional", "equal", "active pools", "optimal (sim)")
+	for i, frac := range fracs {
+		p := points[i]
+		t.AddRow(frac, frac*capTotal, p.dOpt, p.dProp, Cell(p.dEq), p.active, Cell(p.sim))
 	}
 	return []*Table{t}, nil
 }
@@ -119,31 +132,44 @@ func (E15) Run(cfg Config) ([]*Table, error) {
 		}
 	}
 
-	t := NewTable("always-on vs instant-off (model and simulation)",
-		"load", "on: power W", "sleep: power W (model)", "sleep: power W (sim)",
-		"on: delay s", "sleep: delay s (model)", "sleep: delay s (sim)")
-	for _, rho := range []float64{0.1, 0.25, 0.45, 0.65, 0.85} {
+	rhos := []float64{0.1, 0.25, 0.45, 0.65, 0.85}
+	type point struct {
+		onPower, mPower, mOn, mSleep float64
+		res                          *sim.Result
+	}
+	points, err := sweep(cfg, len(rhos), func(i int) (point, error) {
+		rho := rhos[i]
 		lam := rho * mu
-		c := mk(lam)
-
-		onPower := rho*pm.BusyPower(1) + (1-rho)*pm.IdlePower(1)
 		mm1, _ := queueing.NewMM1(lam, mu)
 		qs, err := queueing.NewMG1Setup(lam, service, setup)
 		if err != nil {
-			return nil, err
+			return point{}, err
 		}
-		res, err := sim.Run(c, sim.Options{
+		res, err := sim.Run(mk(lam), sim.Options{
 			Horizon: horizon, Replications: reps, Seed: cfg.Seed + 15,
 			Sleep: []*sim.SleepConfig{{Setup: setup, SleepPower: sleepW}},
 		})
 		if err != nil {
-			return nil, err
+			return point{}, err
 		}
-		t.AddRow(rho, onPower,
-			qs.SleepAveragePower(pm.BusyPower(1), pm.BusyPower(1), sleepW),
-			PlusMinus(res.TotalPower.Mean, res.TotalPower.HalfW),
-			mm1.MeanResponse(), qs.MeanResponse(),
-			PlusMinus(res.Delay[0].Mean, res.Delay[0].HalfW))
+		return point{
+			onPower: rho*pm.BusyPower(1) + (1-rho)*pm.IdlePower(1),
+			mPower:  qs.SleepAveragePower(pm.BusyPower(1), pm.BusyPower(1), sleepW),
+			mOn:     mm1.MeanResponse(), mSleep: qs.MeanResponse(), res: res,
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	t := NewTable("always-on vs instant-off (model and simulation)",
+		"load", "on: power W", "sleep: power W (model)", "sleep: power W (sim)",
+		"on: delay s", "sleep: delay s (model)", "sleep: delay s (sim)")
+	for i, rho := range rhos {
+		p := points[i]
+		t.AddRow(rho, p.onPower, p.mPower,
+			PlusMinus(p.res.TotalPower.Mean, p.res.TotalPower.HalfW),
+			p.mOn, p.mSleep,
+			PlusMinus(p.res.Delay[0].Mean, p.res.Delay[0].HalfW))
 	}
 
 	be := queueing.SleepBreakEvenLoad(service, setup, pm.BusyPower(1), pm.BusyPower(1), sleepW, pm.IdlePower(1))
@@ -182,25 +208,24 @@ func (E16) Run(cfg Config) ([]*Table, error) {
 		return nil, err
 	}
 
-	t := NewTable("power to guarantee the bronze class a delay X: mean vs p95 bound",
-		"X (s)", "mean-bound power (W)", "p95-bound power (W)", "premium",
-		"achieved p95 (model)", "achieved p95 (sim)")
-	for _, mult := range []float64{3, 5, 8} {
-		x := mFast.Delay[2] * mult
+	// Each bound multiplier is a self-contained sweep point (two solver
+	// runs plus a verification simulation); the point returns its finished
+	// table row.
+	mults := []float64{3, 5, 8}
+	rows, err := sweep(cfg, len(mults), func(i int) ([]any, error) {
+		x := mFast.Delay[2] * mults[i]
 		meanSol, err := core.MinimizeEnergyPerClass(c, core.EnergyOptions{
 			MaxClassDelay: []float64{0, 0, x}, Starts: starts, AugLag: al,
 		})
 		if err != nil {
-			t.AddRow(x, "infeasible", "-", "-", "-", "-")
-			continue
+			return []any{x, "infeasible", "-", "-", "-", "-"}, nil
 		}
 		tailSol, err := core.MinimizeEnergyTail(c, core.TailOptions{
 			Bounds: []core.TailBound{{}, {}, {Delay: x, Percentile: 0.95}},
 			Starts: starts, AugLag: al,
 		})
 		if err != nil {
-			t.AddRow(x, meanSol.Objective, "infeasible", "-", "-", "-")
-			continue
+			return []any{x, meanSol.Objective, "infeasible", "-", "-", "-"}, nil
 		}
 		qModel, err := cluster.DelayQuantile(tailSol.Cluster, tailSol.Metrics, 2, 0.95)
 		if err != nil {
@@ -215,7 +240,16 @@ func (E16) Run(cfg Config) ([]*Table, error) {
 			simQ = res.DelayQuantile[2][0.95]
 		}
 		premium := (tailSol.Objective - meanSol.Objective) / meanSol.Objective
-		t.AddRow(x, meanSol.Objective, tailSol.Objective, Pct(premium), qModel, Cell(simQ))
+		return []any{x, meanSol.Objective, tailSol.Objective, Pct(premium), qModel, Cell(simQ)}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	t := NewTable("power to guarantee the bronze class a delay X: mean vs p95 bound",
+		"X (s)", "mean-bound power (W)", "p95-bound power (W)", "premium",
+		"achieved p95 (model)", "achieved p95 (sim)")
+	for _, row := range rows {
+		t.AddRow(row...)
 	}
 	return []*Table{t}, nil
 }

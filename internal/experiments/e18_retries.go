@@ -38,25 +38,37 @@ func bronzeRetryRouting(p float64) []*queueing.ClassRouting {
 
 func (E18) Run(cfg Config) ([]*Table, error) {
 	horizon, reps := cfg.simScale()
+	probs := []float64{0, 0.1, 0.25, 0.4, 0.5}
+	type point struct {
+		m      *cluster.Metrics
+		res    *sim.Result
+		visits float64
+	}
+	points, err := sweep(cfg, len(probs), func(i int) (point, error) {
+		c := workload.CapacityFraction(workload.Enterprise3Tier(1), 0.7)
+		c.Routing = bronzeRetryRouting(probs[i])
+		m, err := cluster.Evaluate(c)
+		if err != nil {
+			return point{}, err
+		}
+		res, err := sim.Run(c, sim.Options{Horizon: horizon, Replications: reps, Seed: cfg.Seed + 18})
+		if err != nil {
+			return point{}, err
+		}
+		return point{m: m, res: res, visits: c.VisitRates(2)[2]}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
 	t := NewTable("bronze retries the app→db leg with probability p (load 70%)",
 		"retry p", "bronze visits db", "bronze delay model (s)", "bronze delay sim (s)",
 		"gold delay model (s)", "power model (W)", "power sim (W)")
-	for _, p := range []float64{0, 0.1, 0.25, 0.4, 0.5} {
-		c := workload.CapacityFraction(workload.Enterprise3Tier(1), 0.7)
-		c.Routing = bronzeRetryRouting(p)
-		m, err := cluster.Evaluate(c)
-		if err != nil {
-			return nil, err
-		}
-		visits := c.VisitRates(2)
-		res, err := sim.Run(c, sim.Options{Horizon: horizon, Replications: reps, Seed: cfg.Seed + 18})
-		if err != nil {
-			return nil, err
-		}
-		t.AddRow(p, visits[2],
-			m.Delay[2], PlusMinus(res.Delay[2].Mean, res.Delay[2].HalfW),
-			m.Delay[0], m.TotalPower,
-			PlusMinus(res.TotalPower.Mean, res.TotalPower.HalfW))
+	for i, p := range probs {
+		pt := points[i]
+		t.AddRow(p, pt.visits,
+			pt.m.Delay[2], PlusMinus(pt.res.Delay[2].Mean, pt.res.Delay[2].HalfW),
+			pt.m.Delay[0], pt.m.TotalPower,
+			PlusMinus(pt.res.TotalPower.Mean, pt.res.TotalPower.HalfW))
 	}
 	return []*Table{t}, nil
 }

@@ -12,6 +12,30 @@ import (
 // sweep, matching the light-to-heavy progression evaluation sections use.
 var validationFracs = []float64{0.3, 0.5, 0.7, 0.85}
 
+// validationPoint is one load level of the E1/E2 sweeps: the analytical
+// metrics next to the simulated result at the same operating point.
+type validationPoint struct {
+	model *cluster.Metrics
+	res   *sim.Result
+}
+
+// runValidationPoint evaluates one load fraction analytically and by
+// simulation. The seed is a pure function of the config and the experiment
+// constant, so points are safe to fan out via sweep.
+func runValidationPoint(cfg Config, frac float64, seed uint64) (validationPoint, error) {
+	horizon, reps := cfg.simScale()
+	c := workload.CapacityFraction(workload.Enterprise3Tier(1), frac)
+	m, err := cluster.Evaluate(c)
+	if err != nil {
+		return validationPoint{}, err
+	}
+	res, err := sim.Run(c, sim.Options{Horizon: horizon, Replications: reps, Seed: seed})
+	if err != nil {
+		return validationPoint{}, err
+	}
+	return validationPoint{model: m, res: res}, nil
+}
+
 // E1 reconstructs Table I: analytical vs simulated per-class mean end-to-end
 // delay across load levels, with the relative model error — the "accurate"
 // claim of the abstract, quantified.
@@ -23,23 +47,20 @@ func (E1) Title() string {
 }
 
 func (E1) Run(cfg Config) ([]*Table, error) {
-	horizon, reps := cfg.simScale()
 	base := workload.Enterprise3Tier(1)
+	points, err := sweep(cfg, len(validationFracs), func(i int) (validationPoint, error) {
+		return runValidationPoint(cfg, validationFracs[i], cfg.Seed+1)
+	})
+	if err != nil {
+		return nil, err
+	}
 	t := NewTable("per-class delay (s)",
 		"load", "class", "analytic", "simulated (95% CI)", "rel. error")
-	for _, frac := range validationFracs {
-		c := workload.CapacityFraction(base, frac)
-		m, err := cluster.Evaluate(c)
-		if err != nil {
-			return nil, err
-		}
-		res, err := sim.Run(c, sim.Options{Horizon: horizon, Replications: reps, Seed: cfg.Seed + 1})
-		if err != nil {
-			return nil, err
-		}
-		for k, cl := range c.Classes {
-			est := res.Delay[k]
-			t.AddRow(frac, cl.Name, m.Delay[k], PlusMinus(est.Mean, est.HalfW), Pct(est.RelErr(m.Delay[k])))
+	for i, frac := range validationFracs {
+		p := points[i]
+		for k, cl := range base.Classes {
+			est := p.res.Delay[k]
+			t.AddRow(frac, cl.Name, p.model.Delay[k], PlusMinus(est.Mean, est.HalfW), Pct(est.RelErr(p.model.Delay[k])))
 		}
 	}
 	return []*Table{t}, nil
@@ -55,31 +76,28 @@ func (E2) Title() string {
 }
 
 func (E2) Run(cfg Config) ([]*Table, error) {
-	horizon, reps := cfg.simScale()
 	base := workload.Enterprise3Tier(1)
+	points, err := sweep(cfg, len(validationFracs), func(i int) (validationPoint, error) {
+		return runValidationPoint(cfg, validationFracs[i], cfg.Seed+2)
+	})
+	if err != nil {
+		return nil, err
+	}
 
 	tp := NewTable("cluster average power (W)",
 		"load", "analytic", "simulated (95% CI)", "rel. error")
 	te := NewTable("per-request dynamic energy (J)",
 		"load", "class", "analytic", "simulated (95% CI)", "rel. error")
 
-	for _, frac := range validationFracs {
-		c := workload.CapacityFraction(base, frac)
-		m, err := cluster.Evaluate(c)
-		if err != nil {
-			return nil, err
-		}
-		res, err := sim.Run(c, sim.Options{Horizon: horizon, Replications: reps, Seed: cfg.Seed + 2})
-		if err != nil {
-			return nil, err
-		}
-		tp.AddRow(frac, m.TotalPower,
-			PlusMinus(res.TotalPower.Mean, res.TotalPower.HalfW),
-			Pct(res.TotalPower.RelErr(m.TotalPower)))
-		for k, cl := range c.Classes {
-			est := res.EnergyPerRequest[k]
-			te.AddRow(frac, cl.Name, m.EnergyPerRequest[k],
-				PlusMinus(est.Mean, est.HalfW), Pct(est.RelErr(m.EnergyPerRequest[k])))
+	for i, frac := range validationFracs {
+		p := points[i]
+		tp.AddRow(frac, p.model.TotalPower,
+			PlusMinus(p.res.TotalPower.Mean, p.res.TotalPower.HalfW),
+			Pct(p.res.TotalPower.RelErr(p.model.TotalPower)))
+		for k, cl := range base.Classes {
+			est := p.res.EnergyPerRequest[k]
+			te.AddRow(frac, cl.Name, p.model.EnergyPerRequest[k],
+				PlusMinus(est.Mean, est.HalfW), Pct(est.RelErr(p.model.EnergyPerRequest[k])))
 		}
 	}
 	return []*Table{tp, te}, nil
@@ -89,21 +107,16 @@ func (E2) Run(cfg Config) ([]*Table, error) {
 // error between model and simulation — used by tests to enforce the paper's
 // "efficient and accurate" claim quantitatively.
 func MaxValidationError(cfg Config) (float64, error) {
-	horizon, reps := cfg.simScale()
-	base := workload.Enterprise3Tier(1)
+	points, err := sweep(cfg, len(validationFracs), func(i int) (validationPoint, error) {
+		return runValidationPoint(cfg, validationFracs[i], cfg.Seed+1)
+	})
+	if err != nil {
+		return 0, err
+	}
 	worst := 0.0
-	for _, frac := range validationFracs {
-		c := workload.CapacityFraction(base, frac)
-		m, err := cluster.Evaluate(c)
-		if err != nil {
-			return 0, err
-		}
-		res, err := sim.Run(c, sim.Options{Horizon: horizon, Replications: reps, Seed: cfg.Seed + 1})
-		if err != nil {
-			return 0, err
-		}
-		for k := range c.Classes {
-			if e := res.Delay[k].RelErr(m.Delay[k]); !math.IsNaN(e) && e > worst {
+	for _, p := range points {
+		for k := range p.model.Delay {
+			if e := p.res.Delay[k].RelErr(p.model.Delay[k]); !math.IsNaN(e) && e > worst {
 				worst = e
 			}
 		}

@@ -32,18 +32,33 @@ func (E20) Run(cfg Config) ([]*Table, error) {
 		cols = append(cols, fmt.Sprintf("ρ=%.2g NT", rho), fmt.Sprintf("ρ=%.2g sim", rho))
 	}
 	t := NewTable("mean response time (s), μ=1 per node", cols...)
-	for _, k := range widths {
+	// The (width × load) grid is one flat sweep: every cell simulates its
+	// own fork-join system from a seed fixed by the config, independent of
+	// every other cell.
+	type cell struct {
+		nt  float64
+		est float64
+	}
+	cells, err := sweep(cfg, len(widths)*len(loads), func(i int) (cell, error) {
+		k, rho := widths[i/len(loads)], loads[i%len(loads)]
+		nt, err := queueing.ForkJoinNelsonTantawi(k, rho, 1)
+		if err != nil {
+			return cell{}, err
+		}
+		est, err := sim.SimulateForkJoin(k, rho, 1, horizon, reps, cfg.Seed+20)
+		if err != nil {
+			return cell{}, err
+		}
+		return cell{nt: nt, est: est.Mean}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for wi, k := range widths {
 		row := []any{k}
-		for _, rho := range loads {
-			nt, err := queueing.ForkJoinNelsonTantawi(k, rho, 1)
-			if err != nil {
-				return nil, err
-			}
-			est, err := sim.SimulateForkJoin(k, rho, 1, horizon, reps, cfg.Seed+20)
-			if err != nil {
-				return nil, err
-			}
-			row = append(row, nt, Cell(est.Mean))
+		for li := range loads {
+			c := cells[wi*len(loads)+li]
+			row = append(row, c.nt, Cell(c.est))
 		}
 		t.AddRow(row...)
 	}

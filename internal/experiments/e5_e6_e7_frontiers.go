@@ -35,16 +35,15 @@ func (E5) Run(cfg Config) ([]*Table, error) {
 	c := workload.Enterprise3TierHeavyDB(1)
 
 	// Budget range: from just above the cheapest stable power to the
-	// full-speed power.
+	// full-speed power. Each budget point is an independent solve, fanned
+	// out by the sweep runner.
 	lo, hi := budgetRange(c)
-	t := NewTable("weighted mean delay (s)",
-		"budget (W)", "optimized", "uniform baseline", "improvement")
-	for _, f := range []float64{0.05, 0.15, 0.3, 0.5, 0.75, 1.0} {
-		budget := lo + f*(hi-lo)
+	fracs := []float64{0.05, 0.15, 0.3, 0.5, 0.75, 1.0}
+	rows, err := sweep(cfg, len(fracs), func(i int) ([]any, error) {
+		budget := lo + fracs[i]*(hi-lo)
 		sol, err := core.MinimizeDelay(c, core.DelayOptions{EnergyBudget: budget, Starts: starts, AugLag: al})
 		if err != nil {
-			t.AddRow(budget, "infeasible", "-", "-")
-			continue
+			return []any{budget, "infeasible", "-", "-"}, nil
 		}
 		base, err := core.UniformDelayBaseline(c, budget)
 		baseDelay := math.NaN()
@@ -55,7 +54,15 @@ func (E5) Run(cfg Config) ([]*Table, error) {
 		if !math.IsNaN(baseDelay) && baseDelay > 0 {
 			impr = (baseDelay - sol.Objective) / baseDelay
 		}
-		t.AddRow(budget, sol.Objective, baseDelay, Pct(impr))
+		return []any{budget, sol.Objective, baseDelay, Pct(impr)}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	t := NewTable("weighted mean delay (s)",
+		"budget (W)", "optimized", "uniform baseline", "improvement")
+	for _, row := range rows {
+		t.AddRow(row...)
 	}
 	return []*Table{t}, nil
 }
@@ -76,14 +83,12 @@ func (E6) Run(cfg Config) ([]*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	t := NewTable("cluster average power (W)",
-		"delay bound (s)", "optimized", "uniform baseline", "savings")
-	for _, f := range []float64{0.15, 0.3, 0.5, 0.7, 0.9} {
-		bound := dBest + f*(dWorst-dBest)
+	fracs := []float64{0.15, 0.3, 0.5, 0.7, 0.9}
+	rows, err := sweep(cfg, len(fracs), func(i int) ([]any, error) {
+		bound := dBest + fracs[i]*(dWorst-dBest)
 		sol, err := core.MinimizeEnergy(c, core.EnergyOptions{MaxWeightedDelay: bound, Starts: starts, AugLag: al})
 		if err != nil {
-			t.AddRow(bound, "infeasible", "-", "-")
-			continue
+			return []any{bound, "infeasible", "-", "-"}, nil
 		}
 		base, err := core.UniformEnergyBaseline(c, bound)
 		basePower := math.NaN()
@@ -94,7 +99,15 @@ func (E6) Run(cfg Config) ([]*Table, error) {
 		if !math.IsNaN(basePower) && basePower > 0 {
 			sav = (basePower - sol.Objective) / basePower
 		}
-		t.AddRow(bound, sol.Objective, basePower, Pct(sav))
+		return []any{bound, sol.Objective, basePower, Pct(sav)}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	t := NewTable("cluster average power (W)",
+		"delay bound (s)", "optimized", "uniform baseline", "savings")
+	for _, row := range rows {
+		t.AddRow(row...)
 	}
 	return []*Table{t}, nil
 }
@@ -125,18 +138,16 @@ func (E7) Run(cfg Config) ([]*Table, error) {
 		return nil, err
 	}
 
-	t := NewTable("minimized power with per-class bounds",
-		"bronze bound (s)", "gold bound (s)", "silver bound (s)", "power (W)", "binding classes")
-	for _, mult := range []float64{1.15, 1.5, 2.5, 4, 7} {
+	mults := []float64{1.15, 1.5, 2.5, 4, 7}
+	rows, err := sweep(cfg, len(mults), func(i int) ([]any, error) {
 		bounds := []float64{
 			mFast.Delay[0] * 6, // loose
 			mFast.Delay[1] * 6, // loose
-			mFast.Delay[2] * mult,
+			mFast.Delay[2] * mults[i],
 		}
 		sol, err := core.MinimizeEnergyPerClass(c, core.EnergyOptions{MaxClassDelay: bounds, Starts: starts, AugLag: al})
 		if err != nil {
-			t.AddRow(bounds[2], bounds[0], bounds[1], "infeasible", "-")
-			continue
+			return []any{bounds[2], bounds[0], bounds[1], "infeasible", "-"}, nil
 		}
 		binding := core.BindingClasses(sol, bounds, 0.03)
 		names := ""
@@ -149,7 +160,15 @@ func (E7) Run(cfg Config) ([]*Table, error) {
 		if names == "" {
 			names = "(none)"
 		}
-		t.AddRow(bounds[2], bounds[0], bounds[1], sol.Objective, names)
+		return []any{bounds[2], bounds[0], bounds[1], sol.Objective, names}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	t := NewTable("minimized power with per-class bounds",
+		"bronze bound (s)", "gold bound (s)", "silver bound (s)", "power (W)", "binding classes")
+	for _, row := range rows {
+		t.AddRow(row...)
 	}
 	return []*Table{t}, nil
 }

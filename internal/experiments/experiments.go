@@ -18,6 +18,11 @@ type Config struct {
 	Quick bool
 	// Seed offsets all simulation seeds for reproducibility studies.
 	Seed uint64
+	// Workers bounds how many sweep points run concurrently within one
+	// experiment (see sweep): 0 selects one worker per CPU, 1 runs the
+	// points serially. The output is identical at every setting — sweep
+	// seeds are derived per point, so parallelism only changes wall time.
+	Workers int
 }
 
 // simScale returns (horizon, replications) for the fidelity level.

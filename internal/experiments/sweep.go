@@ -1,0 +1,73 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// sweep evaluates fn over n sweep points on a bounded worker pool and
+// returns the results ordered by point index. It is the experiment layer's
+// parallelism primitive: every reconstructed table that sweeps a load
+// level, retry probability, or bound multiplier fans its points out here
+// instead of looping serially.
+//
+// Determinism contract: fn(i) must be a pure function of the point index
+// and the experiment config — in particular, every simulation seed must be
+// derived from cfg.Seed and i (or a per-point constant) BEFORE any
+// concurrency is involved, never from shared mutable state. Under that
+// contract the returned slice is bit-identical whether the points run
+// serially, fully in parallel, or in any interleaving; cfg.Workers only
+// changes wall time.
+//
+// Error handling is schedule-independent too: when several points fail, the
+// error of the LOWEST index is returned (annotated with its index), exactly
+// what the serial loop would have surfaced first.
+func sweep[R any](cfg Config, n int, fn func(i int) (R, error)) ([]R, error) {
+	out := make([]R, n)
+	errs := make([]error, n)
+	workers := cfg.sweepWorkers()
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			r, err := fn(i)
+			if err != nil {
+				return nil, fmt.Errorf("sweep point %d: %w", i, err)
+			}
+			out[i] = r
+		}
+		return out, nil
+	}
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				out[i], errs[i] = fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("sweep point %d: %w", i, err)
+		}
+	}
+	return out, nil
+}
+
+// sweepWorkers resolves the Workers knob: 0 means one worker per CPU.
+func (c Config) sweepWorkers() int {
+	if c.Workers > 0 {
+		return c.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}

@@ -1,0 +1,85 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+// TestSweepOrderAndParallelEquivalence pins the sweep runner's determinism
+// contract: results arrive in index order and are byte-identical whether the
+// points run serially, on a bounded pool, or one-per-CPU. The point function
+// here is a pure function of the index, so any scheduling dependence would
+// show up as a mismatch.
+func TestSweepOrderAndParallelEquivalence(t *testing.T) {
+	const n = 37
+	point := func(i int) (string, error) {
+		return fmt.Sprintf("point-%03d", i*i), nil
+	}
+	serial, err := sweep(Config{Workers: 1}, n, point)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(serial) != n {
+		t.Fatalf("serial sweep returned %d results, want %d", len(serial), n)
+	}
+	for i, got := range serial {
+		if want := fmt.Sprintf("point-%03d", i*i); got != want {
+			t.Fatalf("result %d = %q, want %q (order not preserved)", i, got, want)
+		}
+	}
+	for _, workers := range []int{0, 2, 4, 64} {
+		par, err := sweep(Config{Workers: workers}, n, point)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i := range serial {
+			if par[i] != serial[i] {
+				t.Errorf("workers=%d: result %d = %q differs from serial %q", workers, i, par[i], serial[i])
+			}
+		}
+	}
+}
+
+// TestSweepLowestIndexError verifies the schedule-independent error contract:
+// when several points fail, the reported error is always the lowest failing
+// index, no matter which worker finished first.
+func TestSweepLowestIndexError(t *testing.T) {
+	sentinel := errors.New("boom")
+	var calls atomic.Int64
+	_, err := sweep(Config{Workers: 4}, 20, func(i int) (int, error) {
+		calls.Add(1)
+		if i == 5 || i == 13 || i == 17 {
+			return 0, fmt.Errorf("%w at %d", sentinel, i)
+		}
+		return i, nil
+	})
+	if err == nil {
+		t.Fatal("sweep with failing points returned nil error")
+	}
+	if !errors.Is(err, sentinel) {
+		t.Errorf("error %v does not wrap the point error", err)
+	}
+	if !strings.Contains(err.Error(), "sweep point 5") {
+		t.Errorf("error %q does not report the lowest failing index 5", err)
+	}
+}
+
+// TestSweepSerialFallback checks that Workers<=1 really is the serial path:
+// point i must not start before point i-1 finished, which a concurrent pool
+// cannot guarantee.
+func TestSweepSerialFallback(t *testing.T) {
+	var running atomic.Int64
+	_, err := sweep(Config{Workers: 1}, 10, func(i int) (int, error) {
+		if running.Add(1) != 1 {
+			t.Errorf("point %d observed another point in flight", i)
+		}
+		defer running.Add(-1)
+		return i, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

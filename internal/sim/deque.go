@@ -1,0 +1,67 @@
+package sim
+
+// deque is a growable ring buffer holding a waiting line. The simulators
+// push at the back (arrivals), pop at the front (service order), and push
+// at the front (preempted jobs resuming ahead of their class line). A plain
+// slice serving that pattern with q = q[1:] pops leaks front capacity and
+// keeps re-allocating as the slice walks through its backing arrays; the
+// ring reuses its storage, so once a replication reaches its high-water
+// queue length the waiting lines stop allocating. The zero value is an
+// empty deque ready for use.
+type deque[T any] struct {
+	buf  []T
+	head int // index of the front element
+	n    int // number of queued elements
+}
+
+// jobDeque is a station's waiting line (see simStation).
+type jobDeque = deque[*job]
+
+func (d *deque[T]) len() int { return d.n }
+
+// grow doubles the buffer (minimum 8) and re-linearizes the ring.
+func (d *deque[T]) grow() {
+	c := 2 * len(d.buf)
+	if c == 0 {
+		c = 8
+	}
+	nb := make([]T, c)
+	for i := 0; i < d.n; i++ {
+		nb[i] = d.buf[(d.head+i)%len(d.buf)]
+	}
+	d.buf, d.head = nb, 0
+}
+
+// pushBack appends an element at the tail of the line.
+func (d *deque[T]) pushBack(x T) {
+	if d.n == len(d.buf) {
+		d.grow()
+	}
+	d.buf[(d.head+d.n)%len(d.buf)] = x
+	d.n++
+}
+
+// pushFront inserts an element at the head of the line (preemption requeue).
+func (d *deque[T]) pushFront(x T) {
+	if d.n == len(d.buf) {
+		d.grow()
+	}
+	d.head = (d.head - 1 + len(d.buf)) % len(d.buf)
+	d.buf[d.head] = x
+	d.n++
+}
+
+// front returns the head of the line without removing it; the caller must
+// have checked len() > 0.
+func (d *deque[T]) front() T { return d.buf[d.head] }
+
+// popFront removes and returns the head of the line; the caller must have
+// checked len() > 0.
+func (d *deque[T]) popFront() T {
+	var zero T
+	x := d.buf[d.head]
+	d.buf[d.head] = zero
+	d.head = (d.head + 1) % len(d.buf)
+	d.n--
+	return x
+}

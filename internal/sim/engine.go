@@ -1,7 +1,5 @@
 package sim
 
-import "container/heap"
-
 // eventKind discriminates the simulator's event types.
 type eventKind int
 
@@ -25,39 +23,80 @@ type event struct {
 	run     *serviceRun // for departures: the service run completing
 }
 
-// eventHeap is a binary min-heap of events.
+// eventHeap is a concrete binary min-heap of events ordered by (time, seq).
+// It deliberately does not implement container/heap: the stdlib interface
+// boxes every Push/Pop operand through `any`, which heap-allocates one
+// escape per scheduled event. With concrete methods the sift loops stay
+// monomorphic and the calendar's steady state allocates nothing. Pop order
+// is a pure function of the (time, seq) total order, so the heap's internal
+// layout cannot affect determinism.
 type eventHeap []*event
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
+func (h eventHeap) less(i, j int) bool {
 	//lint:floateq deliberate exact compare: bitwise-equal times fall through to the seq tie-break
 	if h[i].time != h[j].time {
 		return h[i].time < h[j].time
 	}
 	return h[i].seq < h[j].seq
 }
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return e
+
+// up sifts the element at index i toward the root.
+func (h eventHeap) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			break
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
 }
 
-// calendar wraps the heap with a monotone clock and sequence numbering.
+// down sifts the element at index i toward the leaves.
+func (h eventHeap) down(i int) {
+	n := len(h)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		m := l
+		if r := l + 1; r < n && h.less(r, l) {
+			m = r
+		}
+		if !h.less(m, i) {
+			break
+		}
+		h[i], h[m] = h[m], h[i]
+		i = m
+	}
+}
+
+// calendar wraps the heap with a monotone clock, sequence numbering, and an
+// event free list. Popped events are recycled via recycle(), so once the
+// heap and free list reach the replication's high-water mark the calendar
+// stops allocating: the live event set, not the event count, bounds memory.
 type calendar struct {
-	h   eventHeap
-	seq uint64
-	now float64
+	h    eventHeap
+	seq  uint64
+	now  float64
+	free []*event
 }
 
-func newCalendar() *calendar {
-	c := &calendar{}
-	heap.Init(&c.h)
-	return c
+func newCalendar() *calendar { return &calendar{} }
+
+// schedule enqueues a pooled event at absolute time t. The fields not used
+// by the kind are zeroed.
+func (c *calendar) schedule(t float64, kind eventKind, class int, j *job, station int, run *serviceRun) {
+	var e *event
+	if n := len(c.free); n > 0 {
+		e = c.free[n-1]
+		c.free = c.free[:n-1]
+	} else {
+		e = &event{}
+	}
+	e.kind, e.class, e.job, e.station, e.run = kind, class, j, station, run
+	c.at(t, e)
 }
 
 // at schedules an event at absolute time t.
@@ -65,7 +104,8 @@ func (c *calendar) at(t float64, e *event) {
 	e.time = t
 	e.seq = c.seq
 	c.seq++
-	heap.Push(&c.h, e)
+	c.h = append(c.h, e)
+	c.h.up(len(c.h) - 1)
 }
 
 // next pops the earliest event and advances the clock; nil when empty.
@@ -73,9 +113,23 @@ func (c *calendar) next() *event {
 	if len(c.h) == 0 {
 		return nil
 	}
-	e := heap.Pop(&c.h).(*event)
+	e := c.h[0]
+	n := len(c.h) - 1
+	c.h[0] = c.h[n]
+	c.h[n] = nil
+	c.h = c.h[:n]
+	if n > 0 {
+		c.h.down(0)
+	}
 	c.now = e.time
 	return e
+}
+
+// recycle returns a popped event to the free list. The caller must not
+// retain the event: its fields are overwritten on the next schedule.
+func (c *calendar) recycle(e *event) {
+	e.job, e.run = nil, nil
+	c.free = append(c.free, e)
 }
 
 // empty reports whether any events remain.

@@ -1,7 +1,6 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 
 	"clusterq/internal/stats"
@@ -42,22 +41,59 @@ type fjEvent struct {
 	queue int // -1 for arrivals, else the queue whose head departs
 }
 
+// fjHeap is a concrete binary min-heap of fork-join events ordered by
+// (time, seq). Like eventHeap it avoids container/heap's per-operation
+// interface boxing; events are small values, so the heap itself is the only
+// storage they ever occupy.
 type fjHeap []fjEvent
 
-func (h fjHeap) Len() int { return len(h) }
-func (h fjHeap) Less(i, j int) bool {
+func (h fjHeap) less(i, j int) bool {
 	//lint:floateq deliberate exact compare: bitwise-equal times fall through to the seq tie-break
 	if h[i].time != h[j].time {
 		return h[i].time < h[j].time
 	}
 	return h[i].seq < h[j].seq
 }
-func (h fjHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *fjHeap) Push(x any)   { *h = append(*h, x.(fjEvent)) }
-func (h *fjHeap) Pop() any {
-	old := *h
-	e := old[len(old)-1]
-	*h = old[:len(old)-1]
+
+func (h *fjHeap) push(e fjEvent) {
+	*h = append(*h, e)
+	// Sift up.
+	s := *h
+	i := len(s) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !s.less(i, parent) {
+			break
+		}
+		s[i], s[parent] = s[parent], s[i]
+		i = parent
+	}
+}
+
+func (h *fjHeap) pop() fjEvent {
+	s := *h
+	e := s[0]
+	n := len(s) - 1
+	s[0] = s[n]
+	*h = s[:n]
+	s = s[:n]
+	// Sift down.
+	i := 0
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		m := l
+		if r := l + 1; r < n && s.less(r, l) {
+			m = r
+		}
+		if !s.less(m, i) {
+			break
+		}
+		s[i], s[m] = s[m], s[i]
+		i = m
+	}
 	return e
 }
 
@@ -76,20 +112,19 @@ func forkJoinRep(k int, lambda, mu, horizon float64, seed uint64) (float64, int6
 	var cal fjHeap
 	seq := uint64(0)
 	push := func(t float64, queue int) {
-		cal = append(cal, fjEvent{time: t, seq: seq, queue: queue})
+		cal.push(fjEvent{time: t, seq: seq, queue: queue})
 		seq++
-		heap.Fix(&cal, len(cal)-1)
 	}
-	heap.Init(&cal)
 	if lambda > 0 {
 		push(rng.Exp(lambda), -1)
 	}
 
-	queues := make([][]*fjJob, k) // FIFO per queue; head is in service
+	queues := make([]deque[*fjJob], k) // FIFO per queue; head is in service
+	var free []*fjJob                  // recycled jobs: live set bounds allocation
 	var resp stats.Welford
 
 	for len(cal) > 0 {
-		e := heap.Pop(&cal).(fjEvent)
+		e := cal.pop()
 		now := e.time
 		if now > horizon {
 			break
@@ -97,10 +132,16 @@ func forkJoinRep(k int, lambda, mu, horizon float64, seed uint64) (float64, int6
 		if e.queue < 0 {
 			// Arrival: fork into every queue; start service where idle.
 			push(now+rng.Exp(lambda), -1)
-			j := &fjJob{arrival: now, pending: k}
+			var j *fjJob
+			if n := len(free); n > 0 {
+				j, free = free[n-1], free[:n-1]
+			} else {
+				j = &fjJob{}
+			}
+			j.arrival, j.pending = now, k
 			for q := 0; q < k; q++ {
-				queues[q] = append(queues[q], j)
-				if len(queues[q]) == 1 {
+				queues[q].pushBack(j)
+				if queues[q].len() == 1 {
 					push(now+rng.Exp(mu), q)
 				}
 			}
@@ -108,13 +149,15 @@ func forkJoinRep(k int, lambda, mu, horizon float64, seed uint64) (float64, int6
 		}
 		// Departure of the head of queue e.queue.
 		q := e.queue
-		j := queues[q][0]
-		queues[q] = queues[q][1:]
+		j := queues[q].popFront()
 		j.pending--
-		if j.pending == 0 && j.arrival >= warmup {
-			resp.Add(now - j.arrival)
+		if j.pending == 0 {
+			if j.arrival >= warmup {
+				resp.Add(now - j.arrival)
+			}
+			free = append(free, j) // last sibling done: no queue holds it
 		}
-		if len(queues[q]) > 0 {
+		if queues[q].len() > 0 {
 			push(now+rng.Exp(mu), q)
 		}
 	}

@@ -1,0 +1,58 @@
+package sim
+
+// Per-replication free lists for the simulator's three transient object
+// kinds. A replication of horizon T schedules O(λT) events, creates O(λT)
+// jobs and O(λT) service runs; without recycling every one is a separate
+// garbage-collected allocation and the event loop spends a large share of
+// its time in the allocator. With the free lists, allocation is bounded by
+// the replication's LIVE set (jobs in flight, events in the calendar, runs
+// in service) — a constant in steady state — so the loop is allocation-free
+// once warm.
+//
+// Recycling cannot perturb determinism: a recycled object is fully
+// re-initialized before reuse, so the simulation's visible state is
+// bit-identical to a run that allocated fresh objects. The pooled-golden-
+// hash test in determinism_test.go pins this.
+//
+// Lifetime invariants (what makes recycling sound):
+//
+//   - event: owned by the calendar from schedule() until next() pops it;
+//     the run loop recycles it after the handler returns. Handlers never
+//     retain events.
+//   - serviceRun: exactly one departure event references each run. A run
+//     is recycled exactly when that event is handled — the normal path
+//     after bankSegment/dropRun, the cancelled (stale) path immediately —
+//     so no calendar event can ever reference a reused run.
+//   - job: recycled when the job leaves the system (exit, or a numerically
+//     empty routing entry row). Stale cancelled departure events may still
+//     hold a *job pointer then, but their handler reads only run.cancelled
+//     and returns, so the pointer is never dereferenced.
+
+// allocJob returns a zeroed job, reusing a recycled one when available.
+func (s *simulator) allocJob() *job {
+	if n := len(s.jobFree); n > 0 {
+		j := s.jobFree[n-1]
+		s.jobFree = s.jobFree[:n-1]
+		*j = job{}
+		return j
+	}
+	return &job{}
+}
+
+// freeJob recycles a job that has left the system.
+func (s *simulator) freeJob(j *job) { s.jobFree = append(s.jobFree, j) }
+
+// allocRun returns a zeroed service run, reusing a recycled one when
+// available.
+func (s *simulator) allocRun() *serviceRun {
+	if n := len(s.runFree); n > 0 {
+		r := s.runFree[n-1]
+		s.runFree = s.runFree[:n-1]
+		*r = serviceRun{}
+		return r
+	}
+	return &serviceRun{}
+}
+
+// freeRun recycles a run whose departure event has been handled.
+func (s *simulator) freeRun(r *serviceRun) { s.runFree = append(s.runFree, r) }

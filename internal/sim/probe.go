@@ -107,7 +107,7 @@ func (s *simulator) handleSample() {
 		row[i] = totalPower
 		s.tl.Sample(now, row)
 	}
-	s.cal.at(now+s.probe.Period, &event{kind: evSample})
+	s.cal.schedule(now+s.probe.Period, evSample, 0, nil, 0, nil)
 }
 
 // publishProbe pushes the aggregated counters and run facts into the probe's

@@ -1,0 +1,160 @@
+package sim
+
+import (
+	"testing"
+
+	"clusterq/internal/cluster"
+	"clusterq/internal/queueing"
+)
+
+// regressionCluster is a moderately loaded single-tier priority station used
+// by the white-box regression tests below: one visit per job, so per-tier and
+// end-to-end counters must agree exactly.
+func regressionCluster() *cluster.Cluster {
+	return oneTier(1, 1, queueing.NonPreemptive,
+		[]cluster.Class{{Name: "hi", Lambda: 0.3}, {Name: "lo", Lambda: 0.35}},
+		[]queueing.Demand{{Work: 1, CV2: 1}, {Work: 1, CV2: 2}})
+}
+
+// TestWarmupDefaults pins the unset-vs-explicit-zero warmup semantics: the
+// Options zero value selects the 10%-of-horizon default, ZeroWarmup (any
+// negative) selects a genuine no-discard run, and a warmup at or beyond the
+// horizon is rejected rather than silently measuring nothing.
+func TestWarmupDefaults(t *testing.T) {
+	unset := Options{Horizon: 1000}
+	if err := unset.defaults(); err != nil {
+		t.Fatal(err)
+	}
+	if unset.Warmup != 100 {
+		t.Errorf("unset warmup resolved to %g, want the 10%% default 100", unset.Warmup)
+	}
+
+	zero := Options{Horizon: 1000, Warmup: ZeroWarmup}
+	if err := zero.defaults(); err != nil {
+		t.Fatal(err)
+	}
+	if zero.Warmup != 0 {
+		t.Errorf("ZeroWarmup resolved to %g, want 0", zero.Warmup)
+	}
+
+	given := Options{Horizon: 1000, Warmup: 250}
+	if err := given.defaults(); err != nil {
+		t.Fatal(err)
+	}
+	if given.Warmup != 250 {
+		t.Errorf("explicit warmup changed to %g, want 250 unchanged", given.Warmup)
+	}
+
+	for _, w := range []float64{1000, 1500} {
+		bad := Options{Horizon: 1000, Warmup: w}
+		if err := bad.defaults(); err == nil {
+			t.Errorf("warmup %g >= horizon accepted, want error", w)
+		}
+	}
+}
+
+// TestZeroWarmupCountsEverything verifies the behavioral half of the
+// sentinel fix: a ZeroWarmup run keeps the transient completions a
+// default-warmup run discards, and its simulator never performs the warmup
+// reset (warmupDone starts true). Before the fix an explicit Warmup of 0 was
+// indistinguishable from unset and silently got the 10% default.
+func TestZeroWarmupCountsEverything(t *testing.T) {
+	c := regressionCluster()
+	base := Options{Horizon: 800, Replications: 2, Seed: 11}
+
+	withDefault := base
+	noWarmup := base
+	noWarmup.Warmup = ZeroWarmup
+	resDefault, err := Run(c, withDefault)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resZero, err := Run(c, noWarmup)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var nDefault, nZero int64
+	for k := range resDefault.Completed {
+		nDefault += resDefault.Completed[k]
+		nZero += resZero.Completed[k]
+	}
+	// Same seeds, same sample paths; the only difference is whether the
+	// first 10% of each replication is discarded.
+	if nZero <= nDefault {
+		t.Errorf("ZeroWarmup counted %d completions, default warmup %d; want strictly more without the discard", nZero, nDefault)
+	}
+
+	o := noWarmup
+	if err := o.defaults(); err != nil {
+		t.Fatal(err)
+	}
+	s, err := newSimulator(c, o, o.Seed, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.warmupDone {
+		t.Error("ZeroWarmup simulator starts with warmupDone=false; the mid-run reset would discard data")
+	}
+}
+
+// TestTierStatsMatchEndToEnd is the regression test for the per-tier warmup
+// filter: on a single-tier cluster every job makes exactly one visit, so the
+// per-tier wait/served counters must match the end-to-end delay counters
+// sample for sample. Before the fix, jobs that arrived during the warmup
+// transient but departed after the reset leaked into the tier stats (their
+// end-to-end delay was correctly dropped), making the tier counts larger.
+func TestTierStatsMatchEndToEnd(t *testing.T) {
+	c := regressionCluster()
+	o := Options{Horizon: 600, Warmup: 60, Replications: 1, Seed: 3}
+	if err := o.defaults(); err != nil {
+		t.Fatal(err)
+	}
+	s, err := newSimulator(c, o, o.Seed, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.run()
+	st := s.stations[0]
+	for k := range c.Classes {
+		if st.servedCls[k] != s.completed[k] {
+			t.Errorf("class %d: tier served %d visits but %d jobs completed; pre-warmup arrivals leaked into tier stats",
+				k, st.servedCls[k], s.completed[k])
+		}
+		if st.waitByCls[k].Count() != s.delay[k].Count() {
+			t.Errorf("class %d: tier wait has %d samples, end-to-end delay has %d",
+				k, st.waitByCls[k].Count(), s.delay[k].Count())
+		}
+		if s.completed[k] == 0 {
+			t.Errorf("class %d: no completions; the regression check needs post-warmup traffic", k)
+		}
+	}
+}
+
+// TestSteadyStateAllocationsBounded gates the allocation-free event loop in
+// plain `go test` (CI's bench smoke only reports numbers; this fails the
+// build). One full replication is ~40k calendar events; the pooled simulator
+// allocates only setup state plus the high-water free lists, far below one
+// allocation per event. The pre-pooling loop allocated ~3 objects per event
+// and blows this bound by two orders of magnitude.
+func TestSteadyStateAllocationsBounded(t *testing.T) {
+	c := regressionCluster()
+	o := Options{Horizon: 15000, Warmup: 100, Replications: 1, Seed: 5}
+	if err := o.defaults(); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(3, func() {
+		s, err := newSimulator(c, o, o.Seed, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.run()
+		if s.summarize().completed[0] == 0 {
+			t.Fatal("replication produced no completions")
+		}
+	})
+	// Generous ceiling over the measured ~300 setup allocations; one
+	// allocation per event would be ~40000.
+	if allocs > 2000 {
+		t.Errorf("full replication made %.0f allocations, want setup-only (<2000)", allocs)
+	}
+}

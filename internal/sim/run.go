@@ -14,12 +14,21 @@ import (
 	"clusterq/internal/stats"
 )
 
+// ZeroWarmup requests a replication with NO warmup discard: every arrival
+// from t=0 counts toward the steady-state output. It exists because the
+// Options zero value must keep meaning "use the default warmup" — an
+// explicit Warmup of 0 is indistinguishable from an unset field, so the
+// explicit request is spelled with a negative sentinel instead.
+const ZeroWarmup = -1.0
+
 // Options configures a simulation experiment.
 type Options struct {
 	// Horizon is the simulated time per replication (required, > 0).
 	Horizon float64
-	// Warmup is the initial transient discarded from every replication
-	// (default 10% of the horizon).
+	// Warmup is the initial transient discarded from every replication.
+	// Leaving it at zero selects the default of 10% of the horizon; to
+	// measure from t=0 with no discard, set Warmup to ZeroWarmup (any
+	// negative value works). Values in (0, Horizon) are used as given.
 	Warmup float64
 	// Replications is the number of independent runs (default 5); the
 	// confidence intervals come from across-replication variability.
@@ -80,11 +89,14 @@ func (o *Options) defaults() error {
 	if !(o.Horizon > 0) {
 		return fmt.Errorf("sim: horizon %g must be positive", o.Horizon)
 	}
-	if o.Warmup < 0 || o.Warmup >= o.Horizon {
-		return fmt.Errorf("sim: warmup %g must be in [0, horizon)", o.Warmup)
-	}
-	if o.Warmup == 0 {
+	switch {
+	case o.Warmup < 0:
+		// ZeroWarmup (or any negative value): an explicit zero-warmup run.
+		o.Warmup = 0
+	case o.Warmup == 0:
 		o.Warmup = o.Horizon * 0.1
+	case o.Warmup >= o.Horizon:
+		return fmt.Errorf("sim: warmup %g must be below the horizon %g", o.Warmup, o.Horizon)
 	}
 	if o.Replications <= 0 {
 		o.Replications = 5
@@ -397,12 +409,8 @@ func (s *simulator) summarize() repOutput {
 	// stations divided by completions of the class.
 	for cl := 0; cl < k; cl++ {
 		var e float64
-		var served int64
 		for _, st := range s.stations {
 			e += st.svcEnergy[cl]
-			if st.servedCls[cl] > served {
-				served = st.servedCls[cl]
-			}
 		}
 		// Use end-to-end completions as the divisor; station visits of
 		// in-flight jobs make the numerator slightly larger, a vanishing

@@ -48,6 +48,11 @@ type simulator struct {
 	delayQ    []*stats.QuantileSet
 	completed []int64
 	quantiles []float64
+
+	// Free lists (see pool.go): recycled jobs and service runs, so the
+	// steady-state event loop allocates nothing.
+	jobFree []*job
+	runFree []*serviceRun
 }
 
 // newSimulator builds one replication. record enables the probe's timeline
@@ -62,6 +67,7 @@ func newSimulator(c *cluster.Cluster, o Options, seed uint64, record bool) (*sim
 		c:             c,
 		cal:           newCalendar(),
 		warmup:        o.Warmup,
+		warmupDone:    o.Warmup <= 0, // explicit zero warmup: never reset, measure from t=0
 		horizon:       o.Horizon,
 		routes:        make([][]int, len(c.Classes)),
 		quantiles:     o.Quantiles,
@@ -106,7 +112,7 @@ func newSimulator(c *cluster.Cluster, o Options, seed uint64, record bool) (*sim
 			maxSpeed:   t.MaxSpeed,
 			discipline: t.Discipline,
 			pm:         t.Power,
-			queues:     make([][]*job, len(c.Classes)),
+			queues:     make([]jobDeque, len(c.Classes)),
 			waitByCls:  make([]*stats.Welford, len(c.Classes)),
 			svcEnergy:  make([]float64, len(c.Classes)),
 			servedCls:  make([]int64, len(c.Classes)),
@@ -125,7 +131,6 @@ func newSimulator(c *cluster.Cluster, o Options, seed uint64, record bool) (*sim
 			st.sleepPower = o.Sleep[j].SleepPower
 		}
 		for k := range c.Classes {
-			st.queues[k] = nil
 			st.waitByCls[k] = &stats.Welford{}
 			// Work samplers reproduce the analytical demand shape.
 			d := t.Demands[k]
@@ -148,16 +153,16 @@ func newSimulator(c *cluster.Cluster, o Options, seed uint64, record bool) (*sim
 	// thinning step in handleArrival realizes the instantaneous rate.
 	for k := range c.Classes {
 		if s.profiles[k].MaxRate() > 0 {
-			s.cal.at(s.arrRNG[k].Exp(s.profiles[k].MaxRate()), &event{kind: evArrival, class: k})
+			s.cal.schedule(s.arrRNG[k].Exp(s.profiles[k].MaxRate()), evArrival, k, nil, 0, nil)
 		}
 	}
 	// Prime the control loop.
 	if s.controller != nil && s.controlPeriod > 0 {
-		s.cal.at(s.controlPeriod, &event{kind: evControl})
+		s.cal.schedule(s.controlPeriod, evControl, 0, nil, 0, nil)
 	}
 	// Prime the probe's sampling loop.
 	if s.probe != nil {
-		s.cal.at(s.probe.Period, &event{kind: evSample})
+		s.cal.schedule(s.probe.Period, evSample, 0, nil, 0, nil)
 	}
 	return s, nil
 }
@@ -184,6 +189,9 @@ func (s *simulator) run() {
 		case evSample:
 			s.handleSample()
 		}
+		// The handler has returned and nothing retains the event (see
+		// pool.go): recycle it for the next schedule.
+		s.cal.recycle(e)
 	}
 }
 
@@ -204,7 +212,7 @@ func (s *simulator) handleArrival(e *event) {
 	k := e.class
 	// Schedule the next candidate arrival at the profile's peak rate.
 	prof := s.profiles[k]
-	s.cal.at(now+s.arrRNG[k].Exp(prof.MaxRate()), &event{kind: evArrival, class: k})
+	s.cal.schedule(now+s.arrRNG[k].Exp(prof.MaxRate()), evArrival, k, nil, 0, nil)
 
 	// Thinning: a candidate becomes a real arrival with probability
 	// λ(t)/λ_max, yielding an exact non-homogeneous Poisson process.
@@ -213,7 +221,8 @@ func (s *simulator) handleArrival(e *event) {
 	}
 
 	s.jobSeq++
-	j := &job{id: s.jobSeq, class: k, arrival: now}
+	j := s.allocJob()
+	j.id, j.class, j.arrival = s.jobSeq, k, now
 	s.tr.event(now, TraceArrival, k, j.id, -1, 0)
 	s.count(pkArrival)
 	if s.inflight != nil {
@@ -226,6 +235,7 @@ func (s *simulator) handleArrival(e *event) {
 			if s.inflight != nil {
 				s.inflight[k]--
 			}
+			s.freeJob(j)
 			return
 		}
 		s.deliverTo(j, entry, now)
@@ -276,7 +286,7 @@ func (s *simulator) handleControl() {
 		s.setSpeed(st, now, next)
 		st.epochBusy.StartAt(now, float64(len(st.running)))
 	}
-	s.cal.at(now+s.controlPeriod, &event{kind: evControl})
+	s.cal.schedule(now+s.controlPeriod, evControl, 0, nil, 0, nil)
 }
 
 // maybeWake starts warming a sleeping server when there is more queued work
@@ -288,7 +298,7 @@ func (s *simulator) maybeWake(st *simStation, now float64) {
 		st.settingUp++
 		st.observeBusy(now) // power steps from sleep to setup level
 		d := st.setupSampler.Sample(s.svcRNG[st.idx])
-		s.cal.at(now+d, &event{kind: evSetupDone, station: st.idx})
+		s.cal.schedule(now+d, evSetupDone, 0, nil, st.idx, nil)
 	}
 }
 
@@ -324,16 +334,20 @@ func (s *simulator) setSpeed(st *simStation, now, speed float64) {
 		run.cancelled = true
 	}
 	st.speed = speed
-	st.running = make([]*serviceRun, 0, len(old))
+	// Swap in the scratch backing array instead of allocating a fresh
+	// running set per retune; the old array becomes the next scratch.
+	st.running = st.runScratch[:0]
 	for _, run := range old {
-		nr := &serviceRun{job: run.job, start: now}
+		nr := s.allocRun()
+		nr.job, nr.start = run.job, now
 		st.running = append(st.running, nr)
 		rem := run.job.remaining
 		if rem < 1e-12 {
 			rem = 1e-12
 		}
-		s.cal.at(now+rem/speed, &event{kind: evDeparture, station: st.idx, job: run.job, run: nr})
+		s.cal.schedule(now+rem/speed, evDeparture, 0, run.job, st.idx, nr)
 	}
+	st.runScratch = old[:0]
 	st.observeBusy(now) // record the new power level
 }
 
@@ -393,32 +407,43 @@ func (s *simulator) preempt(st *simStation, run *serviceRun, now float64) {
 func (s *simulator) startService(st *simStation, j *job, now float64) {
 	s.tr.event(now, TraceStart, j.class, j.id, st.idx, 0)
 	s.count(pkStart)
-	run := &serviceRun{job: j, start: now}
+	run := s.allocRun()
+	run.job, run.start = j, now
 	st.running = append(st.running, run)
 	st.observeBusy(now)
-	s.cal.at(now+j.remaining/st.speed, &event{kind: evDeparture, station: st.idx, job: j, run: run})
+	s.cal.schedule(now+j.remaining/st.speed, evDeparture, 0, j, st.idx, run)
 }
 
 func (s *simulator) handleDeparture(e *event) {
 	if e.run.cancelled {
+		// The stale event was the last reference to the cancelled run
+		// (preempt/setSpeed dropped it from the running set): recycle it.
+		s.freeRun(e.run)
 		return
 	}
 	now := s.cal.now
 	st := s.stations[e.station]
 	j := e.job
 	// Bank the final service segment (energy + in-service time), then
-	// retire the run. Everything at the station that was not in-service
-	// time was waiting, including gaps caused by preemption.
+	// retire and recycle the run. Everything at the station that was not
+	// in-service time was waiting, including gaps caused by preemption.
 	st.bankSegment(e.run, now)
 	st.dropRun(e.run)
+	s.freeRun(e.run)
 	st.observeBusy(now)
 
 	wait := (now - j.enqueued) - j.servedTime
 	if wait < 0 {
 		wait = 0 // floating-point dust on uncontended visits
 	}
-	st.waitByCls[j.class].Add(wait)
-	st.servedCls[j.class]++
+	if j.arrival >= s.warmup {
+		// Per-tier visit statistics apply the same arrival-time filter as
+		// the end-to-end delays below: a job that arrived during the warmup
+		// transient must not leak into steady-state tier stats just because
+		// its visit completed after the warmup reset.
+		st.waitByCls[j.class].Add(wait)
+		st.servedCls[j.class]++
+	}
 	s.tr.event(now, TraceVisitEnd, j.class, j.id, st.idx, 0)
 	s.count(pkVisitEnd)
 
@@ -460,5 +485,6 @@ func (s *simulator) handleDeparture(e *event) {
 			s.delayQ[j.class].Add(d)
 			s.completed[j.class]++
 		}
+		s.freeJob(j)
 	}
 }

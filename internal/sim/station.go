@@ -36,9 +36,10 @@ type simStation struct {
 	pm         power.Model
 	samplers   []Sampler // per class: WORK distributions
 
-	queues  [][]*job      // per-class FIFO queues (priority order = index)
-	fifo    []*job        // single queue under FCFS
-	running []*serviceRun // active service runs, ≤ servers
+	queues     []jobDeque    // per-class FIFO queues (priority order = index)
+	fifo       jobDeque      // single queue under FCFS
+	running    []*serviceRun // active service runs, ≤ servers
+	runScratch []*serviceRun // spare backing array swapped in by setSpeed
 
 	// Sleep-state extension (instant-off policy): idle servers power down
 	// to sleepPower and pay a setup period (at busy power) to wake.
@@ -101,27 +102,23 @@ func (s *simStation) freeServers() int { return s.servers - len(s.running) }
 func (s *simStation) enqueue(j *job, now float64) {
 	j.enqueued = now
 	if s.discipline == queueing.FCFS {
-		s.fifo = append(s.fifo, j)
+		s.fifo.pushBack(j)
 	} else {
-		s.queues[j.class] = append(s.queues[j.class], j)
+		s.queues[j.class].pushBack(j)
 	}
 }
 
 // nextWaiting pops the job that should be served next, or nil.
 func (s *simStation) nextWaiting() *job {
 	if s.discipline == queueing.FCFS {
-		if len(s.fifo) == 0 {
+		if s.fifo.len() == 0 {
 			return nil
 		}
-		j := s.fifo[0]
-		s.fifo = s.fifo[1:]
-		return j
+		return s.fifo.popFront()
 	}
 	for k := range s.queues {
-		if len(s.queues[k]) > 0 {
-			j := s.queues[k][0]
-			s.queues[k] = s.queues[k][1:]
-			return j
+		if s.queues[k].len() > 0 {
+			return s.queues[k].popFront()
 		}
 	}
 	return nil
@@ -130,7 +127,7 @@ func (s *simStation) nextWaiting() *job {
 // requeueFront puts a preempted job back at the head of its class queue so it
 // resumes before later arrivals of the same class.
 func (s *simStation) requeueFront(j *job) {
-	s.queues[j.class] = append([]*job{j}, s.queues[j.class]...)
+	s.queues[j.class].pushFront(j)
 }
 
 // lowestPriorityRunning returns the run with the numerically largest class
@@ -168,11 +165,11 @@ func (s *simStation) observeBusy(now float64) {
 // queueLen returns the number of waiting (not in-service) jobs.
 func (s *simStation) queueLen() int {
 	if s.discipline == queueing.FCFS {
-		return len(s.fifo)
+		return s.fifo.len()
 	}
 	n := 0
-	for _, q := range s.queues {
-		n += len(q)
+	for k := range s.queues {
+		n += s.queues[k].len()
 	}
 	return n
 }

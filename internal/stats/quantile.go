@@ -121,7 +121,12 @@ func (q *P2Quantile) Value() float64 {
 	if len(q.initial) < 5 {
 		s := append([]float64(nil), q.initial...)
 		sort.Float64s(s)
-		idx := int(q.p * float64(len(s)))
+		// Nearest-rank, matching ExactQuantile: small-sample estimates must
+		// agree with the exact definition tests compare against.
+		idx := int(math.Ceil(q.p*float64(len(s)))) - 1
+		if idx < 0 {
+			idx = 0
+		}
 		if idx >= len(s) {
 			idx = len(s) - 1
 		}

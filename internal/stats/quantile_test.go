@@ -23,6 +23,27 @@ func TestP2QuantileSmallSamples(t *testing.T) {
 	}
 }
 
+// TestP2QuantileSmallSampleMatchesExact pins the small-sample fallback to the
+// nearest-rank definition: with fewer than five observations, Value must
+// return exactly what ExactQuantile returns on the same data. The pre-fix
+// fallback used a different rank formula and disagreed (e.g. p=0.5 on two
+// samples picked the larger one).
+func TestP2QuantileSmallSampleMatchesExact(t *testing.T) {
+	data := []float64{7, 2, 9, 4} // insertion order deliberately unsorted
+	for _, p := range []float64{0.05, 0.25, 0.5, 0.75, 0.9, 0.95} {
+		for n := 1; n <= len(data); n++ {
+			q := NewP2Quantile(p)
+			for _, x := range data[:n] {
+				q.Add(x)
+			}
+			want := ExactQuantile(data[:n], p)
+			if got := q.Value(); got != want {
+				t.Errorf("p=%g n=%d: P2 small-sample = %g, ExactQuantile = %g", p, n, got, want)
+			}
+		}
+	}
+}
+
 func TestP2QuantileUniform(t *testing.T) {
 	rng := rand.New(rand.NewSource(42))
 	for _, p := range []float64{0.1, 0.5, 0.9, 0.95, 0.99} {
