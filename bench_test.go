@@ -1,7 +1,7 @@
 package clusterq
 
 // The benchmark harness: one testing.B benchmark per reconstructed table and
-// figure (E1–E20, see DESIGN.md), each running the corresponding experiment
+// figure (E1–E21, see DESIGN.md), each running the corresponding experiment
 // in quick mode so `go test -bench=.` regenerates every evaluation artifact's
 // code path and reports its cost. Micro-benchmarks for the three hot layers
 // (analytic evaluation, simulation, optimization) follow.
@@ -87,6 +87,9 @@ func BenchmarkE19TCO(b *testing.B) { benchExperiment(b, "E19") }
 
 // Extension: fork-join synchronization penalty.
 func BenchmarkE20ForkJoin(b *testing.B) { benchExperiment(b, "E20") }
+
+// Extension: failure injection — breakdowns, deadlines, retries, shedding.
+func BenchmarkE21Failures(b *testing.B) { benchExperiment(b, "E21") }
 
 // BenchmarkMinimizeEnergyDual measures the decomposed C3a solve — the
 // production path for aggregate bounds.

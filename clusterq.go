@@ -96,6 +96,15 @@ type (
 	UtilizationPolicy = sim.UtilizationPolicy
 	// SleepConfig enables the instant-off sleep policy on a tier.
 	SleepConfig = sim.SleepConfig
+	// FailureConfig enables breakdown/repair injection on a tier
+	// (SimOptions.Failures; see DESIGN.md "Failure model").
+	FailureConfig = sim.FailureConfig
+	// DeadlineConfig gives a class per-attempt deadlines with
+	// retry-with-backoff or abandonment (SimOptions.Deadlines).
+	DeadlineConfig = sim.DeadlineConfig
+	// SheddingConfig enables priority-aware admission control
+	// (SimOptions.Shedding).
+	SheddingConfig = sim.SheddingConfig
 )
 
 // ZeroWarmup requests a simulation with no warmup discard (an explicit

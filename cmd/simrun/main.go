@@ -8,6 +8,9 @@
 //	       [-swing 0.5 -period 5000]      # diurnal sinusoidal load
 //	       [-reactive 0.7 -epoch 20]      # runtime DVFS controller
 //	       [-sleep 2.0 -sleep-watts 20]   # instant-off sleep on every tier
+//	       [-mtbf 100 -mttr 5]            # server breakdown/repair on every tier
+//	       [-deadline 10 -max-retries 2 -retry-backoff 0.5]  # timeout–retry–abandon, all classes
+//	       [-shed-threshold 0.9 -shed-period 25]             # priority-aware admission control
 //	       [-sample-period 10]            # probe: sample queues/util/power
 //	       [-metrics-out m.json]          # metric exposition (.prom for Prometheus text)
 //	       [-timeline-out tl.csv]         # sampled time series as CSV
@@ -53,6 +56,16 @@ func main() {
 
 		sleepSetup = flag.Float64("sleep", 0, "enable instant-off sleep on every tier with this mean setup time (0 disables)")
 		sleepWatts = flag.Float64("sleep-watts", 0, "per-server power while asleep (with -sleep)")
+
+		mtbf = flag.Float64("mtbf", 0, "enable server breakdowns on every tier with this mean time between failures (0 disables)")
+		mttr = flag.Float64("mttr", 0, "mean time to repair a failed server (required with -mtbf)")
+
+		deadline     = flag.Float64("deadline", 0, "per-attempt response-time deadline for every class (0 disables)")
+		maxRetries   = flag.Int("max-retries", 0, "retry budget per timed-out request (with -deadline)")
+		retryBackoff = flag.Float64("retry-backoff", 0, "mean exponential backoff before the first retry, doubling per attempt (with -deadline)")
+
+		shedThreshold = flag.Float64("shed-threshold", 0, "worst-tier utilization above which low classes are shed (0 disables)")
+		shedPeriod    = flag.Float64("shed-period", 25, "admission-control measurement epoch in simulated seconds (with -shed-threshold)")
 
 		tracePath = flag.String("trace", "", "write a CSV event trace to this file (forces 1 replication)")
 
@@ -179,6 +192,29 @@ func main() {
 		}
 		fmt.Printf("instant-off sleep: setup mean %.4g s, %.4g W asleep\n", *sleepSetup, *sleepWatts)
 	}
+	if *mtbf > 0 {
+		opts.Failures = make([]*sim.FailureConfig, len(c.Tiers))
+		for j := range c.Tiers {
+			opts.Failures[j] = &sim.FailureConfig{MTBF: *mtbf, MTTR: *mttr}
+		}
+		fmt.Printf("breakdowns: MTBF %.4g s, MTTR %.4g s (availability %.4g)\n",
+			*mtbf, *mttr, opts.Failures[0].Availability())
+	}
+	if *deadline > 0 {
+		opts.Deadlines = make([]*sim.DeadlineConfig, len(c.Classes))
+		for k := range c.Classes {
+			opts.Deadlines[k] = &sim.DeadlineConfig{
+				Deadline: *deadline, MaxRetries: *maxRetries, RetryBackoff: *retryBackoff,
+			}
+		}
+		fmt.Printf("deadlines: %.4g s per attempt, %d retries, backoff mean %.4g s\n",
+			*deadline, *maxRetries, *retryBackoff)
+	}
+	if *shedThreshold > 0 {
+		opts.Shedding = &sim.SheddingConfig{Threshold: *shedThreshold, Period: *shedPeriod}
+		fmt.Printf("admission control: shed above %.2f utilization, epoch %.4g s\n",
+			*shedThreshold, *shedPeriod)
+	}
 	res, err := sim.Run(c, opts)
 	if err != nil {
 		fatal(err)
@@ -215,6 +251,15 @@ func main() {
 	for k, cl := range c.Classes {
 		fmt.Printf("  %-10s model %8.4g   sim %8.4g ±%.3g\n",
 			cl.Name, m.EnergyPerRequest[k], res.EnergyPerRequest[k].Mean, res.EnergyPerRequest[k].HalfW)
+	}
+
+	if opts.Failures != nil || opts.Deadlines != nil || opts.Shedding != nil {
+		fmt.Println("\ndegraded mode (post-warmup, summed over replications):")
+		for k, cl := range c.Classes {
+			fmt.Printf("  %-10s goodput %8.4g req/s (offered %.4g)   timeouts %d  retries %d  abandoned %d  shed %d\n",
+				cl.Name, res.Goodput[k].Mean, cl.Lambda,
+				res.Timeouts[k], res.Retries[k], res.Abandoned[k], res.Shed[k])
+		}
 	}
 
 	if tl := res.Timeline; tl != nil {

@@ -7,6 +7,7 @@
 // Usage:
 //
 //	slaplan -config cluster.json [-baselines] [-max-servers 64]
+//	        [-availability 0.95]     # size so SLAs hold at this availability
 //	        [-progress]              # phase/timing heartbeat on stderr
 //	        [-metrics-out m.json]    # solver metrics (.prom for Prometheus text)
 package main
@@ -28,6 +29,7 @@ func main() {
 		path       = flag.String("config", "", "JSON cluster config (required)")
 		baselines  = flag.Bool("baselines", false, "also size with the uniform and proportional baselines")
 		maxServers = flag.Int("max-servers", 64, "server cap per tier")
+		avail      = flag.Float64("availability", 0, "plan at this server availability in (0,1] so SLAs survive breakdowns (0 = nominal capacity)")
 		progress   = flag.Bool("progress", false, "print solver phase progress to stderr")
 		metricsOut = flag.String("metrics-out", "", "write solver metrics to this file (.prom/.txt for Prometheus text, else JSON)")
 	)
@@ -61,12 +63,16 @@ func main() {
 	}
 
 	finish := phase("mincost")
-	sol, err := core.MinimizeCost(c, core.CostOptions{MaxServersPerTier: *maxServers})
+	sol, err := core.MinimizeCost(c, core.CostOptions{MaxServersPerTier: *maxServers, Availability: *avail})
 	finish()
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Println("== min-cost allocation (C4) ==")
+	if *avail != 0 && *avail < 1 {
+		fmt.Printf("== min-cost allocation (C4, planned at availability %.4g) ==\n", *avail)
+	} else {
+		fmt.Println("== min-cost allocation (C4) ==")
+	}
 	printAllocation(sol)
 	recordSolution(reg, "mincost", sol)
 

@@ -1,0 +1,116 @@
+package cluster
+
+import (
+	"math"
+	"testing"
+)
+
+func TestEffectiveAvailability(t *testing.T) {
+	tier := testCluster().Tiers[0]
+	if got := tier.EffectiveAvailability(); got != 1 {
+		t.Errorf("zero availability resolves to %g, want 1", got)
+	}
+	tier.Availability = 0.9
+	if got := tier.EffectiveAvailability(); got != 0.9 {
+		t.Errorf("EffectiveAvailability = %g, want 0.9", got)
+	}
+}
+
+func TestAvailabilityValidation(t *testing.T) {
+	for _, a := range []float64{-0.1, 1.1, math.NaN(), math.Inf(1)} {
+		c := testCluster()
+		c.Tiers[1].Availability = a
+		if err := c.Validate(); err == nil {
+			t.Errorf("availability %g: want validation error", a)
+		}
+	}
+	c := testCluster()
+	c.Tiers[1].Availability = 1
+	if err := c.Validate(); err != nil {
+		t.Errorf("availability 1: %v", err)
+	}
+}
+
+func TestAvailabilityOneMatchesUnset(t *testing.T) {
+	base, err := Evaluate(testCluster())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := testCluster()
+	for _, tier := range c.Tiers {
+		tier.Availability = 1
+	}
+	m, err := Evaluate(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := range base.Delay {
+		if m.Delay[k] != base.Delay[k] {
+			t.Errorf("class %d delay %g != unset %g", k, m.Delay[k], base.Delay[k])
+		}
+	}
+	if m.TotalPower != base.TotalPower {
+		t.Errorf("power %g != unset %g", m.TotalPower, base.TotalPower)
+	}
+}
+
+func TestAvailabilityDegradesDelayAndPower(t *testing.T) {
+	base, err := Evaluate(testCluster())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := testCluster()
+	const a = 0.8
+	for _, tier := range c.Tiers {
+		tier.Availability = a
+	}
+	m, err := Evaluate(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := range base.Delay {
+		if !(m.Delay[k] > base.Delay[k]) {
+			t.Errorf("class %d delay %g not above nominal %g at A=%g", k, m.Delay[k], base.Delay[k], a)
+		}
+	}
+	// Static power shrinks with the up fraction; the reported utilization is
+	// the per-up-server busy fraction, a factor 1/A above nominal.
+	if !almostEq(m.StaticPower, a*base.StaticPower, 1e-12) {
+		t.Errorf("static power %g, want %g", m.StaticPower, a*base.StaticPower)
+	}
+	for j := range m.Tiers {
+		if !almostEq(m.Tiers[j].Utilization, base.Tiers[j].Utilization/a, 1e-12) {
+			t.Errorf("tier %d utilization %g, want %g", j, m.Tiers[j].Utilization, base.Tiers[j].Utilization/a)
+		}
+	}
+	// The busy-server count is unchanged (same throughput, same per-request
+	// work, same raw speed), so dynamic power matches the nominal run.
+	if !almostEq(m.DynamicPower, base.DynamicPower, 1e-12) {
+		t.Errorf("dynamic power %g, want %g", m.DynamicPower, base.DynamicPower)
+	}
+	// Per-request energy is charged at the raw operating speed.
+	for k := range base.EnergyPerRequest {
+		if m.EnergyPerRequest[k] != base.EnergyPerRequest[k] {
+			t.Errorf("class %d energy/request %g != nominal %g", k, m.EnergyPerRequest[k], base.EnergyPerRequest[k])
+		}
+	}
+}
+
+func TestAvailabilityRaisesSpeedBounds(t *testing.T) {
+	c := testCluster()
+	for _, tier := range c.Tiers {
+		tier.MinSpeed = 0
+		tier.MaxSpeed = 0
+	}
+	loNom, _ := c.SpeedBounds()
+	const a = 0.5
+	for _, tier := range c.Tiers {
+		tier.Availability = a
+	}
+	loDeg, _ := c.SpeedBounds()
+	for j := range loNom {
+		if !almostEq(loDeg[j], loNom[j]/a, 1e-9) {
+			t.Errorf("tier %d stability floor %g, want %g (nominal %g / A)", j, loDeg[j], loNom[j]/a, loNom[j])
+		}
+	}
+}

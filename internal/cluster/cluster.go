@@ -78,17 +78,34 @@ type Tier struct {
 	// CostPerServer is the provisioning cost of one server at this tier
 	// (used by the C4 cost minimization), in dollars per unit time.
 	CostPerServer float64
+	// Availability is the steady-state fraction of time each server is up,
+	// A = MTBF/(MTBF+MTTR), in (0, 1]. Zero means "always up". The analytic
+	// model folds it in as availability-weighted capacity — the tier serves
+	// at Speed·A — which is exact in the mean but optimistic in the tail
+	// (see DESIGN.md "Failure model"); the simulator injects explicit
+	// breakdown/repair cycles instead via sim.Options.Failures.
+	Availability float64
 	// Demands[k] is the work class k brings to this tier.
 	Demands []queueing.Demand
 }
 
+// EffectiveAvailability returns the tier's availability with the zero value
+// resolved to 1 (always up).
+func (t *Tier) EffectiveAvailability() float64 {
+	if t.Availability == 0 {
+		return 1
+	}
+	return t.Availability
+}
+
 // Station converts the tier to its queueing representation at its current
-// speed.
+// speed, degraded by the tier's availability (Speed·A — the mean effective
+// capacity of a pool whose servers are each up a fraction A of the time).
 func (t *Tier) Station() *queueing.Station {
 	return &queueing.Station{
 		Name:       t.Name,
 		Servers:    t.Servers,
-		Speed:      t.Speed,
+		Speed:      t.Speed * t.EffectiveAvailability(),
 		Discipline: t.Discipline,
 		Demands:    append([]queueing.Demand(nil), t.Demands...),
 	}
@@ -107,6 +124,10 @@ func (t *Tier) Validate(numClasses int) error {
 	}
 	if t.MaxSpeed > 0 && (t.Speed < t.MinSpeed || t.Speed > t.MaxSpeed) {
 		return fmt.Errorf("cluster: tier %q speed %g outside [%g,%g]", t.Name, t.Speed, t.MinSpeed, t.MaxSpeed)
+	}
+	// The negated comparison also rejects NaN.
+	if t.Availability != 0 && (!(t.Availability > 0) || t.Availability > 1) {
+		return fmt.Errorf("cluster: tier %q availability %g out of (0,1]", t.Name, t.Availability)
 	}
 	return t.Station().Validate(numClasses)
 }
@@ -286,7 +307,10 @@ func (c *Cluster) SpeedBounds() (lo, hi []float64) {
 	lo = make([]float64, len(c.Tiers))
 	hi = make([]float64, len(c.Tiers))
 	for i, t := range c.Tiers {
-		stab := net.Stations[i].MinSpeedForStability(perTierArrivals(c, i, lam))
+		// MinSpeedForStability is in station-speed units; the station runs at
+		// Speed·A, so the tier's nominal speed must clear stab/A.
+		stab := net.Stations[i].MinSpeedForStability(perTierArrivals(c, i, lam)) /
+			t.EffectiveAvailability()
 		lo[i] = t.MinSpeed
 		if lo[i] < stab*1.001 {
 			lo[i] = stab * 1.001

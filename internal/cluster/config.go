@@ -32,15 +32,22 @@ type RoutingConfig struct {
 
 // TierConfig describes one tier.
 type TierConfig struct {
-	Name          string         `json:"name"`
-	Servers       int            `json:"servers"`
-	Speed         float64        `json:"speed"`
-	MinSpeed      float64        `json:"min_speed,omitempty"`
-	MaxSpeed      float64        `json:"max_speed,omitempty"`
-	Discipline    string         `json:"discipline"` // "fcfs" | "nonpreemptive" | "preemptive"
-	Power         PowerConfig    `json:"power"`
-	CostPerServer float64        `json:"cost_per_server,omitempty"`
-	Demands       []DemandConfig `json:"demands"`
+	Name          string      `json:"name"`
+	Servers       int         `json:"servers"`
+	Speed         float64     `json:"speed"`
+	MinSpeed      float64     `json:"min_speed,omitempty"`
+	MaxSpeed      float64     `json:"max_speed,omitempty"`
+	Discipline    string      `json:"discipline"` // "fcfs" | "nonpreemptive" | "preemptive"
+	Power         PowerConfig `json:"power"`
+	CostPerServer float64     `json:"cost_per_server,omitempty"`
+	// Availability sets the tier's steady-state server availability directly
+	// (in (0,1]; 0 or absent means always up). Alternatively give MTBF and
+	// MTTR (both, in seconds) and A = MTBF/(MTBF+MTTR) is derived; setting
+	// both forms is an error.
+	Availability float64        `json:"availability,omitempty"`
+	MTBF         float64        `json:"mtbf,omitempty"`
+	MTTR         float64        `json:"mttr,omitempty"`
+	Demands      []DemandConfig `json:"demands"`
 }
 
 // DemandConfig describes the work one class brings to one tier.
@@ -126,11 +133,22 @@ func (cfg Config) Build() (*Cluster, error) {
 		for k, dc := range tc.Demands {
 			demands[k] = queueing.Demand{Work: dc.Work, CV2: dc.CV2}
 		}
+		avail := tc.Availability
+		if tc.MTBF != 0 || tc.MTTR != 0 {
+			if avail != 0 {
+				return nil, fmt.Errorf("tier %q: give availability or mtbf/mttr, not both", tc.Name)
+			}
+			avail, err = queueing.Availability(tc.MTBF, tc.MTTR)
+			if err != nil {
+				return nil, fmt.Errorf("tier %q: %w", tc.Name, err)
+			}
+		}
 		c.Tiers[i] = &Tier{
 			Name: tc.Name, Servers: tc.Servers, Speed: tc.Speed,
 			MinSpeed: tc.MinSpeed, MaxSpeed: tc.MaxSpeed,
 			Discipline: d, Power: pm,
-			CostPerServer: tc.CostPerServer, Demands: demands,
+			CostPerServer: tc.CostPerServer, Availability: avail,
+			Demands: demands,
 		}
 	}
 	if cfg.Routing != nil {

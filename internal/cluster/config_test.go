@@ -2,6 +2,8 @@ package cluster
 
 import (
 	"encoding/json"
+	"fmt"
+	"math"
 	"testing"
 
 	"clusterq/internal/queueing"
@@ -161,5 +163,36 @@ func TestConfigJSONSerializesBack(t *testing.T) {
 	}
 	if len(c2.Tiers) != 2 {
 		t.Error("round trip lost tiers")
+	}
+}
+
+func TestParseConfigAvailability(t *testing.T) {
+	base := `{"tiers":[{"name":"a","servers":1,"speed":4,"discipline":"fcfs","power":{"type":"linear","idle":50,"slope":20},%s"demands":[{"work":1,"cv2":1}]}],"classes":[{"name":"x","lambda":0.5}]}`
+
+	c, err := ParseConfig([]byte(fmt.Sprintf(base, `"availability":0.9,`)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Tiers[0].Availability != 0.9 {
+		t.Errorf("availability = %g, want 0.9", c.Tiers[0].Availability)
+	}
+
+	c, err = ParseConfig([]byte(fmt.Sprintf(base, `"mtbf":90,"mttr":10,`)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Tiers[0].Availability; math.Abs(got-0.9) > 1e-15 {
+		t.Errorf("derived availability = %g, want 0.9", got)
+	}
+
+	for name, snippet := range map[string]string{
+		"both forms":   `"availability":0.9,"mtbf":90,"mttr":10,`,
+		"mtbf alone":   `"mtbf":90,`,
+		"bad mttr":     `"mtbf":90,"mttr":-1,`,
+		"out of range": `"availability":1.5,`,
+	} {
+		if _, err := ParseConfig([]byte(fmt.Sprintf(base, snippet))); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
 	}
 }

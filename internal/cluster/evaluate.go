@@ -76,8 +76,15 @@ func Evaluate(c *Cluster) (*Metrics, error) {
 	}
 
 	for j, t := range c.Tiers {
+		// rho is the per-up-server busy fraction (the station runs at the
+		// availability-degraded capacity Speed·A). The fraction of *nominal*
+		// servers busy is rho·A, which is what dynamic power scales with at
+		// the raw operating speed; failed servers draw nothing, so the static
+		// floor also shrinks by A.
+		a := t.EffectiveAvailability()
 		rho := net.Stations[j].Utilization(perTierArrivals(c, j, lam))
-		br := power.StationBreakdown(t.Power, t.Speed, t.Servers, rho)
+		br := power.StationBreakdown(t.Power, t.Speed, t.Servers, rho*a)
+		br.Static *= a
 		m.Tiers[j] = TierMetrics{Name: t.Name, Utilization: rho, Power: br}
 		m.StaticPower += br.Static
 		m.DynamicPower += br.Dynamic

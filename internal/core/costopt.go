@@ -22,6 +22,13 @@ type CostOptions struct {
 	// keeps headroom against model error; the returned solution reports
 	// compliance against the ORIGINAL bounds. Default 0.
 	SafetyMargin float64
+	// Availability, when in (0, 1], multiplies every tier's effective
+	// availability during planning — sizing the fleet as if servers were
+	// additionally down that often — so the plan keeps capacity headroom
+	// against breakdowns. Like SafetyMargin, the returned solution reports
+	// metrics and compliance at the ORIGINAL tier availabilities. Default 0
+	// (off); 1 is an explicit no-op.
+	Availability float64
 	// EnergyPrice, when positive, extends the objective to total cost of
 	// ownership: Σ servers·price + EnergyPrice·P̄ (in $ per watt per unit
 	// time). With energy priced, buying MORE servers and running them
@@ -71,15 +78,40 @@ func MinimizeCost(c *cluster.Cluster, o CostOptions) (*Solution, error) {
 	if o.SafetyMargin < 0 || o.SafetyMargin >= 1 {
 		return nil, fmt.Errorf("core: safety margin %g out of [0, 1)", o.SafetyMargin)
 	}
+	// The negated comparison also rejects NaN.
+	if o.Availability != 0 && (!(o.Availability > 0) || o.Availability > 1) {
+		return nil, fmt.Errorf("core: planning availability %g out of (0, 1]", o.Availability)
+	}
 
 	work := c.Clone()
-	// Plan against tightened bounds; compliance is reported against the
-	// caller's original bounds (restored before returning).
+	// Plan against tightened bounds and derated availabilities; compliance
+	// is reported against the caller's original configuration (restored
+	// before returning).
 	if o.SafetyMargin > 0 {
 		for k := range work.Classes {
 			sla := &work.Classes[k].SLA
 			sla.MaxMeanDelay *= 1 - o.SafetyMargin
 			sla.PercentileDelay *= 1 - o.SafetyMargin
+		}
+	}
+	deratedAvail := o.Availability != 0 && o.Availability < 1
+	if deratedAvail {
+		for _, t := range work.Tiers {
+			t.Availability = t.EffectiveAvailability() * o.Availability
+		}
+	}
+	// restorePlanning undoes the planning-time tightenings on the solution
+	// cluster so the reported metrics describe the system as configured.
+	restorePlanning := func(w *cluster.Cluster) {
+		if o.SafetyMargin > 0 {
+			for k := range w.Classes {
+				w.Classes[k].SLA = c.Classes[k].SLA
+			}
+		}
+		if deratedAvail {
+			for j := range w.Tiers {
+				w.Tiers[j].Availability = c.Tiers[j].Availability
+			}
 		}
 	}
 	evals := 0
@@ -220,30 +252,19 @@ func MinimizeCost(c *cluster.Cluster, o CostOptions) (*Solution, error) {
 		if err != nil {
 			return nil, err
 		}
+		// Report (and price energy) at the original SLAs and availabilities.
+		restorePlanning(work)
 		m, err := cluster.Evaluate(work)
 		if err != nil {
 			return nil, err
 		}
 		objective = cluster.TotalCost(work) + o.EnergyPrice*m.TotalPower
-		if o.SafetyMargin > 0 {
-			for k := range work.Classes {
-				work.Classes[k].SLA = c.Classes[k].SLA
-			}
-			m, err = cluster.Evaluate(work)
-			if err != nil {
-				return nil, err
-			}
-		}
 		result.Iters = added
 		return &Solution{Cluster: work, Metrics: m, Objective: objective, Result: result}, nil
 	}
 
-	// Report against the caller's original SLA bounds.
-	if o.SafetyMargin > 0 {
-		for k := range work.Classes {
-			work.Classes[k].SLA = c.Classes[k].SLA
-		}
-	}
+	// Report against the caller's original SLA bounds and availabilities.
+	restorePlanning(work)
 	m, err := cluster.Evaluate(work)
 	if err != nil {
 		return nil, err

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"math"
 	"testing"
 
 	"clusterq/internal/cluster"
@@ -253,6 +254,61 @@ func TestUniformEnergyBaselineLooseBoundUsesMinSpeeds(t *testing.T) {
 	for i := range s {
 		if s[i] > lo[i]*1.05 {
 			t.Errorf("tier %d speed %g not at floor %g", i, s[i], lo[i])
+		}
+	}
+}
+
+func TestMinimizeCostAvailabilityMargin(t *testing.T) {
+	nominal, err := MinimizeCost(slaCluster(), CostOptions{SkipSpeedTuning: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	derated, err := MinimizeCost(slaCluster(), CostOptions{SkipSpeedTuning: true, Availability: 0.7})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	total := func(s *Solution) int {
+		n := 0
+		for _, tier := range s.Cluster.Tiers {
+			n += tier.Servers
+		}
+		return n
+	}
+	if !(total(derated) > total(nominal)) {
+		t.Errorf("planning at A=0.7 sized %d servers, nominal plan %d; want strictly more",
+			total(derated), total(nominal))
+	}
+
+	// The solution must report at the original availabilities (here: always
+	// up) and still satisfy every SLA there.
+	for _, tier := range derated.Cluster.Tiers {
+		if tier.Availability != 0 {
+			t.Errorf("tier %q availability %g leaked from planning", tier.Name, tier.Availability)
+		}
+	}
+	reports, err := cluster.CheckSLAs(derated.Cluster, derated.Metrics)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range reports {
+		if !r.Satisfied() {
+			t.Errorf("SLA not met: %+v", r)
+		}
+	}
+
+	// Availability 1 is an explicit no-op.
+	noop, err := MinimizeCost(slaCluster(), CostOptions{SkipSpeedTuning: true, Availability: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total(noop) != total(nominal) {
+		t.Errorf("A=1 plan sized %d servers, nominal %d", total(noop), total(nominal))
+	}
+
+	for _, a := range []float64{-0.5, 1.5, math.NaN()} {
+		if _, err := MinimizeCost(slaCluster(), CostOptions{Availability: a}); err == nil {
+			t.Errorf("availability %g: want error", a)
 		}
 	}
 }

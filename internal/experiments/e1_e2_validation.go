@@ -60,7 +60,7 @@ func (E1) Run(cfg Config) ([]*Table, error) {
 		p := points[i]
 		for k, cl := range base.Classes {
 			est := p.res.Delay[k]
-			t.AddRow(frac, cl.Name, p.model.Delay[k], PlusMinus(est.Mean, est.HalfW), Pct(est.RelErr(p.model.Delay[k])))
+			t.AddRow(frac, cl.Name, p.model.Delay[k], SimEstimate(est), Pct(est.RelErr(p.model.Delay[k])))
 		}
 	}
 	return []*Table{t}, nil
@@ -92,12 +92,12 @@ func (E2) Run(cfg Config) ([]*Table, error) {
 	for i, frac := range validationFracs {
 		p := points[i]
 		tp.AddRow(frac, p.model.TotalPower,
-			PlusMinus(p.res.TotalPower.Mean, p.res.TotalPower.HalfW),
+			SimEstimate(p.res.TotalPower),
 			Pct(p.res.TotalPower.RelErr(p.model.TotalPower)))
 		for k, cl := range base.Classes {
 			est := p.res.EnergyPerRequest[k]
 			te.AddRow(frac, cl.Name, p.model.EnergyPerRequest[k],
-				PlusMinus(est.Mean, est.HalfW), Pct(est.RelErr(p.model.EnergyPerRequest[k])))
+				SimEstimate(est), Pct(est.RelErr(p.model.EnergyPerRequest[k])))
 		}
 	}
 	return []*Table{tp, te}, nil

@@ -6,6 +6,8 @@ import (
 	"strconv"
 	"strings"
 	"testing"
+
+	"clusterq/internal/stats"
 )
 
 func quickCfg() Config { return Config{Quick: true} }
@@ -272,5 +274,39 @@ func TestCellFormatting(t *testing.T) {
 	}
 	if Cell(math.Inf(1)) != "inf" {
 		t.Error("Inf cell")
+	}
+}
+
+func TestE21FailureValidationAccuracy(t *testing.T) {
+	// The failure extension's accuracy claim: at mild degradation (A ≥ 0.9,
+	// fast-switching repairs) the availability-weighted analytic model
+	// tracks the breakdown-injected simulation within the same quick-mode
+	// band E1 grants the failure-free model. Below that the approximation
+	// is knowingly optimistic and no band is promised.
+	worst, err := MaxFailureValidationError(quickCfg(), 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if worst > 0.25 {
+		t.Errorf("worst model-vs-sim delay error at A ≥ 0.9 = %.1f%%", worst*100)
+	}
+	if worst == 0 {
+		t.Error("suspiciously exact agreement; is the simulator injecting failures?")
+	}
+}
+
+func TestSimEstimateRendering(t *testing.T) {
+	with := stats.Estimate{Mean: 1.5, HalfW: 0.25}
+	if got := SimEstimate(with); got != "1.5 ±0.25" {
+		t.Errorf("SimEstimate with CI = %q", got)
+	}
+	// A missing interval must be flagged, not silently rendered as a bare
+	// (seemingly validated) number.
+	without := stats.Estimate{Mean: 1.5, HalfW: math.NaN()}
+	if got := SimEstimate(without); got != "1.5 (no CI)" {
+		t.Errorf("SimEstimate without CI = %q", got)
+	}
+	if got := SimEstimate(stats.Estimate{Mean: math.NaN()}); got != "-" {
+		t.Errorf("SimEstimate NaN mean = %q", got)
 	}
 }

@@ -6,6 +6,8 @@ import (
 	"io"
 	"math"
 	"strings"
+
+	"clusterq/internal/stats"
 )
 
 // Table is a rendered experiment artifact: a titled grid of cells.
@@ -72,6 +74,19 @@ func PlusMinus(mean, halfw float64) string {
 		return Cell(mean)
 	}
 	return fmt.Sprintf("%s ±%s", Cell(mean), Cell(halfw))
+}
+
+// SimEstimate renders a simulation estimate, flagging a missing confidence
+// interval explicitly: a single-replication estimate prints "mean (no CI)"
+// instead of a bare mean a reader could mistake for a validated value.
+func SimEstimate(e stats.Estimate) string {
+	if math.IsNaN(e.Mean) {
+		return "-"
+	}
+	if !e.HasCI() {
+		return Cell(e.Mean) + " (no CI)"
+	}
+	return fmt.Sprintf("%s ±%s", Cell(e.Mean), Cell(e.HalfW))
 }
 
 // WriteASCII renders the table with aligned columns.

@@ -64,3 +64,26 @@ func sumOverSlice(xs []float64) float64 {
 	}
 	return total
 }
+
+// Breakdown/repair injection is driven by the same calendar as every other
+// event: failure times must come from the replication's seeded streams and
+// simulated time, never from the host environment.
+
+func scheduleBreakdownWallClock(c *calendar) {
+	t := time.Now() // want `time\.Now reads the wall clock`
+	c.schedule(float64(t.Unix()))
+}
+
+func drawFailureGlobalStream(c *calendar, now float64) {
+	c.schedule(now + rand.ExpFloat64()) // want `rand\.ExpFloat64 uses the global math/rand stream`
+}
+
+func drawFailureSeeded(c *calendar, r *rand.Rand, now, mtbf float64) {
+	c.schedule(now + mtbf*r.ExpFloat64()) // method on a private stream: allowed
+}
+
+func scheduleRepairsOverMap(c *calendar, mttrByTier map[int]float64, now float64) {
+	for _, mttr := range mttrByTier {
+		c.schedule(now + mttr) // want `event scheduling \(schedule\) inside a map range`
+	}
+}

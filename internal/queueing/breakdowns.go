@@ -1,0 +1,38 @@
+package queueing
+
+import (
+	"fmt"
+	"math"
+)
+
+// Availability returns the steady-state fraction of time a fail-stop server
+// is up, A = MTBF/(MTBF+MTTR), for exponential up-times with mean mtbf and
+// exponential repair times with mean mttr. Both must be positive and finite.
+func Availability(mtbf, mttr float64) (float64, error) {
+	if !(mtbf > 0) || math.IsInf(mtbf, 1) {
+		return 0, fmt.Errorf("queueing: MTBF %g must be positive and finite", mtbf)
+	}
+	if !(mttr > 0) || math.IsInf(mttr, 1) {
+		return 0, fmt.Errorf("queueing: MTTR %g must be positive and finite", mttr)
+	}
+	return mtbf / (mtbf + mttr), nil
+}
+
+// MMcWithBreakdowns returns an M/M/c descriptor whose service capacity is
+// degraded by server breakdowns with steady-state availability avail ∈ (0,1]:
+// each server is effectively available a fraction avail of the time, so the
+// c-server station behaves, in the mean, like an M/M/c queue with per-server
+// rate μ·avail (equivalently: effective capacity c·avail at rate μ).
+//
+// This availability-weighted approximation is exact for the mean offered
+// capacity but optimistic in the tail — it smears each outage over time
+// instead of modeling the queue buildup during a repair interval, so
+// predicted delays are a lower bound when MTTR is comparable to the mean
+// service time or larger. See DESIGN.md "Failure model" for the comparison
+// against the simulator's explicit breakdown/repair injection.
+func MMcWithBreakdowns(lambda, mu float64, c int, avail float64) (MMc, error) {
+	if !(avail > 0) || avail > 1 {
+		return MMc{}, fmt.Errorf("queueing: availability %g out of (0, 1]", avail)
+	}
+	return NewMMc(lambda, mu*avail, c)
+}

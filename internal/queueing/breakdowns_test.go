@@ -1,0 +1,73 @@
+package queueing
+
+import (
+	"math"
+	"testing"
+)
+
+func TestAvailability(t *testing.T) {
+	a, err := Availability(90, 10)
+	if err != nil {
+		t.Fatalf("Availability(90, 10): %v", err)
+	}
+	if math.Abs(a-0.9) > 1e-15 {
+		t.Errorf("Availability(90, 10) = %g, want 0.9", a)
+	}
+
+	bad := [][2]float64{
+		{0, 10}, {-1, 10}, {math.NaN(), 10}, {math.Inf(1), 10},
+		{90, 0}, {90, -1}, {90, math.NaN()}, {90, math.Inf(1)},
+	}
+	for _, c := range bad {
+		if _, err := Availability(c[0], c[1]); err == nil {
+			t.Errorf("Availability(%g, %g): want error", c[0], c[1])
+		}
+	}
+}
+
+func TestMMcWithBreakdowns(t *testing.T) {
+	// avail = 1 must reduce exactly to the nominal M/M/c.
+	nom, err := NewMMc(1.5, 1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := MMcWithBreakdowns(1.5, 1, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full != nom {
+		t.Errorf("avail=1: got %+v, want %+v", full, nom)
+	}
+
+	// Degraded capacity: service rate scales by avail, so the offered load
+	// rises by 1/avail and the mean wait strictly exceeds the nominal one.
+	deg, err := MMcWithBreakdowns(1.5, 1, 3, 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(deg.Mu-0.8) > 1e-15 {
+		t.Errorf("degraded μ = %g, want 0.8", deg.Mu)
+	}
+	if math.Abs(deg.OfferedLoad()-1.5/0.8) > 1e-12 {
+		t.Errorf("degraded offered load = %g, want %g", deg.OfferedLoad(), 1.5/0.8)
+	}
+	if !(deg.MeanWait() > nom.MeanWait()) {
+		t.Errorf("degraded MeanWait %g not above nominal %g", deg.MeanWait(), nom.MeanWait())
+	}
+
+	// Availability low enough to saturate the station must yield an unstable
+	// (not invalid) queue: λ=1.5 against capacity 3·0.4=1.2.
+	sat, err := MMcWithBreakdowns(1.5, 1, 3, 0.4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sat.Stable() {
+		t.Error("λ=1.5, cμA=1.2 reported stable")
+	}
+
+	for _, a := range []float64{0, -0.1, 1.1, math.NaN(), math.Inf(1)} {
+		if _, err := MMcWithBreakdowns(1.5, 1, 3, a); err == nil {
+			t.Errorf("avail=%g: want error", a)
+		}
+	}
+}

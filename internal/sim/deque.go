@@ -8,7 +8,7 @@ package sim
 // ring reuses its storage, so once a replication reaches its high-water
 // queue length the waiting lines stop allocating. The zero value is an
 // empty deque ready for use.
-type deque[T any] struct {
+type deque[T comparable] struct {
 	buf  []T
 	head int // index of the front element
 	n    int // number of queued elements
@@ -64,4 +64,23 @@ func (d *deque[T]) popFront() T {
 	d.head = (d.head + 1) % len(d.buf)
 	d.n--
 	return x
+}
+
+// removeFirst deletes the first element equal to x, preserving the order of
+// the rest, and reports whether it was found. An O(n) scan plus shift —
+// used by the deadline extension to pull a timed-out job out of its waiting
+// line, an event rare relative to push/pop traffic.
+func (d *deque[T]) removeFirst(x T) bool {
+	for i := 0; i < d.n; i++ {
+		if d.buf[(d.head+i)%len(d.buf)] == x {
+			for k := i; k < d.n-1; k++ {
+				d.buf[(d.head+k)%len(d.buf)] = d.buf[(d.head+k+1)%len(d.buf)]
+			}
+			var zero T
+			d.buf[(d.head+d.n-1)%len(d.buf)] = zero
+			d.n--
+			return true
+		}
+	}
+	return false
 }

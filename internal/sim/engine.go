@@ -9,6 +9,11 @@ const (
 	evControl                    // runtime DVFS controller epoch
 	evSetupDone                  // a sleeping server finished warming up
 	evSample                     // observability probe sampling tick
+	evBreakdown                  // candidate server breakdown at a station (thinned)
+	evRepair                     // a failed server finished its repair
+	evTimeout                    // a class deadline expired for a specific attempt
+	evRetry                      // a timed-out job re-enters after its backoff
+	evShedEpoch                  // admission-control epoch: re-decide the shed level
 )
 
 // event is one scheduled occurrence. Events are ordered by time with the
@@ -21,6 +26,11 @@ type event struct {
 	job     *job
 	station int
 	run     *serviceRun // for departures: the service run completing
+	// gen is a staleness stamp for timeout/retry events: the job's id at
+	// scheduling time. Jobs are pooled, so by the time such an event fires
+	// its *job may have been recycled; the handler compares gen against the
+	// job's current id and ignores the event on mismatch.
+	gen uint64
 }
 
 // eventHeap is a concrete binary min-heap of events ordered by (time, seq).
@@ -88,15 +98,27 @@ func newCalendar() *calendar { return &calendar{} }
 // schedule enqueues a pooled event at absolute time t. The fields not used
 // by the kind are zeroed.
 func (c *calendar) schedule(t float64, kind eventKind, class int, j *job, station int, run *serviceRun) {
-	var e *event
-	if n := len(c.free); n > 0 {
-		e = c.free[n-1]
-		c.free = c.free[:n-1]
-	} else {
-		e = &event{}
-	}
-	e.kind, e.class, e.job, e.station, e.run = kind, class, j, station, run
+	e := c.alloc()
+	e.kind, e.class, e.job, e.station, e.run, e.gen = kind, class, j, station, run, 0
 	c.at(t, e)
+}
+
+// scheduleGen enqueues a pooled event carrying a generation stamp (see
+// event.gen) — the scheduling entry point for timeout and retry events.
+func (c *calendar) scheduleGen(t float64, kind eventKind, class int, j *job, station int, gen uint64) {
+	e := c.alloc()
+	e.kind, e.class, e.job, e.station, e.run, e.gen = kind, class, j, station, nil, gen
+	c.at(t, e)
+}
+
+// alloc pops a recycled event or makes a fresh one.
+func (c *calendar) alloc() *event {
+	if n := len(c.free); n > 0 {
+		e := c.free[n-1]
+		c.free = c.free[:n-1]
+		return e
+	}
+	return &event{}
 }
 
 // at schedules an event at absolute time t.

@@ -23,10 +23,14 @@ package sim
 //     is recycled exactly when that event is handled — the normal path
 //     after bankSegment/dropRun, the cancelled (stale) path immediately —
 //     so no calendar event can ever reference a reused run.
-//   - job: recycled when the job leaves the system (exit, or a numerically
-//     empty routing entry row). Stale cancelled departure events may still
-//     hold a *job pointer then, but their handler reads only run.cancelled
-//     and returns, so the pointer is never dereferenced.
+//   - job: recycled when the job leaves the system (exit, abandonment, or a
+//     numerically empty routing entry row). Stale cancelled departure events
+//     may still hold a *job pointer then, but their handler reads only
+//     run.cancelled and returns, so the pointer is never dereferenced.
+//     Timeout/retry events DO dereference their *job, so they carry the
+//     job's id as a generation stamp (event.gen); freeJob zeroes the id,
+//     and allocJob hands out a fresh one, so a stale stamp never matches
+//     and the handler bails before touching recycled state.
 
 // allocJob returns a zeroed job, reusing a recycled one when available.
 func (s *simulator) allocJob() *job {
@@ -39,8 +43,14 @@ func (s *simulator) allocJob() *job {
 	return &job{}
 }
 
-// freeJob recycles a job that has left the system.
-func (s *simulator) freeJob(j *job) { s.jobFree = append(s.jobFree, j) }
+// freeJob recycles a job that has left the system. The id is zeroed
+// immediately (not only on realloc) so a pending timeout/retry event whose
+// generation stamp still names this job sees the mismatch even before the
+// job is handed out again.
+func (s *simulator) freeJob(j *job) {
+	j.id = 0
+	s.jobFree = append(s.jobFree, j)
+}
 
 // allocRun returns a zeroed service run, reusing a recycled one when
 // available.

@@ -45,6 +45,12 @@ const (
 	pkRetune
 	pkSetupBegin
 	pkSetupDone
+	pkBreakdown
+	pkRepair
+	pkTimeout
+	pkRetry
+	pkAbandon
+	pkShed
 	numProbeKinds
 )
 
@@ -52,6 +58,25 @@ const (
 var probeKindNames = [numProbeKinds]string{
 	TraceArrival, TraceStart, TracePreempt, TraceVisitEnd,
 	TraceExit, TraceRetune, TraceSetupBegin, TraceSetupDone,
+	TraceBreakdown, TraceRepair, TraceTimeout, TraceRetry,
+	TraceAbandon, TraceShed,
+}
+
+// probeKindActive reports whether a counter can be nonzero under the given
+// options. Inactive counters are omitted from Result.EventCounts so
+// failure-free results — and the golden hashes pinned on them — are
+// untouched by the failure subsystem's vocabulary.
+func probeKindActive(k probeKind, o Options) bool {
+	switch k {
+	case pkBreakdown, pkRepair:
+		return o.Failures != nil
+	case pkTimeout, pkRetry, pkAbandon:
+		return o.Deadlines != nil
+	case pkShed:
+		return o.Shedding != nil
+	default:
+		return true
+	}
 }
 
 // count bumps one event counter; a branch and an increment when the probe is
@@ -118,9 +143,14 @@ func publishProbe(p *Probe, res *Result, horizon float64) {
 		return
 	}
 	for _, name := range probeKindNames {
-		reg.Counter("sim_events_"+name+"_total",
-			"simulator "+name+" events summed over replications").
-			Add(res.EventCounts[name])
+		// Counters for inactive features are absent from EventCounts (see
+		// probeKindActive); publishing them as zeros would misstate what
+		// the run could even observe.
+		if n, ok := res.EventCounts[name]; ok {
+			reg.Counter("sim_events_"+name+"_total",
+				"simulator "+name+" events summed over replications").
+				Add(n)
+		}
 	}
 	reg.Gauge("sim_replications", "independent replications run").
 		Set(float64(res.Replications))

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"math"
 	"testing"
 
 	"clusterq/internal/cluster"
@@ -156,5 +157,34 @@ func TestSteadyStateAllocationsBounded(t *testing.T) {
 	// allocation per event would be ~40000.
 	if allocs > 2000 {
 		t.Errorf("full replication made %.0f allocations, want setup-only (<2000)", allocs)
+	}
+}
+
+// TestConfidenceDefaults pins the fix for silently rewritten confidence
+// levels: the zero value still selects 0.95, a valid explicit level is kept,
+// and an out-of-range level is an error instead of being replaced behind the
+// caller's back.
+func TestConfidenceDefaults(t *testing.T) {
+	unset := Options{Horizon: 1000}
+	if err := unset.defaults(); err != nil {
+		t.Fatal(err)
+	}
+	if unset.Confidence != 0.95 {
+		t.Errorf("unset confidence resolved to %g, want 0.95", unset.Confidence)
+	}
+
+	given := Options{Horizon: 1000, Confidence: 0.99}
+	if err := given.defaults(); err != nil {
+		t.Fatal(err)
+	}
+	if given.Confidence != 0.99 {
+		t.Errorf("explicit confidence changed to %g, want 0.99 unchanged", given.Confidence)
+	}
+
+	for _, level := range []float64{1.5, -0.2, 1, math.NaN()} {
+		bad := Options{Horizon: 1000, Confidence: level}
+		if err := bad.defaults(); err == nil {
+			t.Errorf("confidence %g accepted, want error", level)
+		}
 	}
 }

@@ -74,6 +74,19 @@ type Options struct {
 	// when set. Preemption is not combined with sleep: a sleeping tier
 	// serves in strict priority order without interrupting service.
 	Sleep []*SleepConfig
+	// Failures optionally enables per-tier server breakdown/repair
+	// processes: a non-nil entry j gives tier j's servers exponential
+	// MTBF/MTTR fail-stop failures. Length must equal the tier count when
+	// set; a tier cannot combine Failures with Sleep.
+	Failures []*FailureConfig
+	// Deadlines optionally gives classes per-attempt response-time
+	// deadlines with retry-or-abandon semantics; a nil entry leaves the
+	// class unbounded. Length must equal the class count when set.
+	Deadlines []*DeadlineConfig
+	// Shedding optionally enables priority-aware admission control: when
+	// measured utilization crosses the threshold, the lowest-priority
+	// classes' arrivals are refused first.
+	Shedding *SheddingConfig
 }
 
 // SleepConfig parameterizes a tier's instant-off sleep policy.
@@ -101,8 +114,14 @@ func (o *Options) defaults() error {
 	if o.Replications <= 0 {
 		o.Replications = 5
 	}
-	if o.Confidence <= 0 || o.Confidence >= 1 {
+	switch {
+	case o.Confidence == 0:
 		o.Confidence = 0.95
+	case !(o.Confidence > 0) || o.Confidence >= 1:
+		// An explicitly out-of-range (or NaN) level is a configuration
+		// mistake, not a request for the default: reject it like a bad
+		// warmup instead of silently rewriting it.
+		return fmt.Errorf("sim: confidence level %g out of (0, 1)", o.Confidence)
 	}
 	if o.Controller != nil && !(o.ControlPeriod > 0) {
 		return fmt.Errorf("sim: a controller requires a positive control period")
@@ -187,6 +206,16 @@ type Result struct {
 	// Completed[k] counts post-warmup completions of class k, summed over
 	// replications.
 	Completed []int64
+	// Goodput[k] is class k's measured post-warmup completion rate
+	// (requests per second). Without deadlines or shedding it is the plain
+	// throughput; with them it is what the cluster actually delivered.
+	Goodput []stats.Estimate
+	// Timeouts, Retries, Abandoned and Shed count the degraded-mode events
+	// per class (post-warmup arrivals only, summed over replications):
+	// expired attempt deadlines, re-entries, requests that exhausted their
+	// retry budget, and arrivals refused by admission control. All zeros
+	// when the corresponding feature is off.
+	Timeouts, Retries, Abandoned, Shed []int64
 	// Replications actually run.
 	Replications int
 	// Timeline holds the probe's sampled time series from replication 0
@@ -206,10 +235,15 @@ type repOutput struct {
 	quant     []map[float64]float64
 	power     float64
 	energy    []float64 // per request, per class
+	goodput   []float64 // per class: completions over the measured span
 	tierUtil  []float64
 	tierPower []float64
 	tierWait  [][]float64 // [tier][class] mean wait per visit
 	completed []int64
+	timeouts  []int64
+	retries   []int64
+	abandoned []int64
+	shed      []int64
 	events    [numProbeKinds]int64
 	tl        *obs.Timeline // replication 0 only, with a probe attached
 }
@@ -229,6 +263,15 @@ func Run(c *cluster.Cluster, o Options) (*Result, error) {
 		return nil, err
 	}
 	if err := o.validateSleep(jn); err != nil {
+		return nil, err
+	}
+	if err := o.validateFailures(jn); err != nil {
+		return nil, err
+	}
+	if err := o.validateDeadlines(k); err != nil {
+		return nil, err
+	}
+	if err := o.validateShedding(k); err != nil {
 		return nil, err
 	}
 	// Replications are independent (own RNG streams, own event calendar)
@@ -278,6 +321,11 @@ func Run(c *cluster.Cluster, o Options) (*Result, error) {
 		EnergyPerRequest: make([]stats.Estimate, k),
 		Tiers:            make([]TierResult, jn),
 		Completed:        make([]int64, k),
+		Goodput:          make([]stats.Estimate, k),
+		Timeouts:         make([]int64, k),
+		Retries:          make([]int64, k),
+		Abandoned:        make([]int64, k),
+		Shed:             make([]int64, k),
 		Replications:     o.Replications,
 	}
 
@@ -301,8 +349,13 @@ func Run(c *cluster.Cluster, o Options) (*Result, error) {
 		cl := cl
 		res.Delay[cl] = agg(func(r repOutput) float64 { return r.delay[cl] })
 		res.EnergyPerRequest[cl] = agg(func(r repOutput) float64 { return r.energy[cl] })
+		res.Goodput[cl] = agg(func(r repOutput) float64 { return r.goodput[cl] })
 		for _, r := range reps {
 			res.Completed[cl] += r.completed[cl]
+			res.Timeouts[cl] += r.timeouts[cl]
+			res.Retries[cl] += r.retries[cl]
+			res.Abandoned[cl] += r.abandoned[cl]
+			res.Shed[cl] += r.shed[cl]
 		}
 		// Quantiles: average across replications.
 		if len(o.Quantiles) > 0 {
@@ -339,6 +392,9 @@ func Run(c *cluster.Cluster, o Options) (*Result, error) {
 		res.Timeline = reps[0].tl
 		res.EventCounts = make(map[string]int64, numProbeKinds)
 		for kind, name := range probeKindNames {
+			if !probeKindActive(probeKind(kind), o) {
+				continue
+			}
 			var total int64
 			for _, r := range reps {
 				total += r.events[kind]
@@ -357,16 +413,27 @@ func (s *simulator) summarize() repOutput {
 		delay:     make([]float64, k),
 		quant:     make([]map[float64]float64, k),
 		energy:    make([]float64, k),
+		goodput:   make([]float64, k),
 		tierUtil:  make([]float64, len(s.stations)),
 		tierPower: make([]float64, len(s.stations)),
 		completed: make([]int64, k),
+		timeouts:  s.timeouts,
+		retries:   s.retries,
+		abandoned: s.abandoned,
+		shed:      s.shed,
 		events:    s.evCounts,
 		tl:        s.tl,
 	}
+	// The measured span: post-warmup simulated time, the denominator of the
+	// per-class goodput rates.
+	measured := s.horizon - s.warmup
 	var wNum, wDen float64
 	for cl := 0; cl < k; cl++ {
 		out.delay[cl] = s.delay[cl].Mean()
 		out.completed[cl] = s.completed[cl]
+		if measured > 0 {
+			out.goodput[cl] = float64(s.completed[cl]) / measured
+		}
 		if n := s.completed[cl]; n > 0 {
 			wNum += float64(n) * s.delay[cl].Mean()
 			wDen += float64(n)

@@ -34,6 +34,24 @@ type simulator struct {
 	routings []*queueing.ClassRouting
 	routeRNG []*RNG
 
+	// Failure extension (nil/zero unless the corresponding option is set):
+	// per-tier breakdown configs and RNG streams, per-class deadline
+	// configs and retry-backoff streams, the shedding config with its
+	// resolved hysteresis/cap, the current shed level, and the per-class
+	// degraded-mode counters (post-warmup arrivals only).
+	failures    []*FailureConfig
+	failRNG     []*RNG
+	deadlines   []*DeadlineConfig
+	retryRNG    []*RNG
+	shedCfg     *SheddingConfig
+	shedResume  float64
+	shedMax     int
+	shedClasses int
+	timeouts    []int64
+	retries     []int64
+	abandoned   []int64
+	shed        []int64
+
 	tr *traceWriter // nil unless Options.Trace is set
 
 	// Observability (nil/zero unless Options.Probe is set): the probe
@@ -145,9 +163,44 @@ func newSimulator(c *cluster.Cluster, o Options, seed uint64, record bool) (*sim
 	s.delay = make([]*stats.Welford, len(c.Classes))
 	s.delayQ = make([]*stats.QuantileSet, len(c.Classes))
 	s.completed = make([]int64, len(c.Classes))
+	s.timeouts = make([]int64, len(c.Classes))
+	s.retries = make([]int64, len(c.Classes))
+	s.abandoned = make([]int64, len(c.Classes))
+	s.shed = make([]int64, len(c.Classes))
 	for k := range c.Classes {
 		s.delay[k] = &stats.Welford{}
 		s.delayQ[k] = stats.NewQuantileSet(quantiles...)
+	}
+	// Failure-extension streams are split ONLY when the feature is on, and
+	// after every pre-existing split: a run with all three features off
+	// consumes exactly the RNG stream sequence it always did, keeping
+	// disabled output bit-identical (the golden-hash tests pin this).
+	if o.Failures != nil {
+		s.failures = o.Failures
+		for range c.Tiers {
+			s.failRNG = append(s.failRNG, root.Split())
+		}
+	}
+	if o.Deadlines != nil {
+		s.deadlines = o.Deadlines
+		for range c.Classes {
+			s.retryRNG = append(s.retryRNG, root.Split())
+		}
+	}
+	if o.Shedding != nil {
+		s.shedCfg = o.Shedding
+		s.shedResume = o.Shedding.ResumeBelow
+		if s.shedResume == 0 {
+			s.shedResume = 0.8 * o.Shedding.Threshold
+		}
+		s.shedMax = o.Shedding.MaxShedClasses
+		if s.shedMax == 0 {
+			s.shedMax = len(c.Classes) - 1
+		}
+		for _, st := range s.stations {
+			st.shedEnabled = true
+			st.shedBusy.StartAt(0, 0)
+		}
 	}
 	// Prime one candidate arrival per class with a positive peak rate; the
 	// thinning step in handleArrival realizes the instantaneous rate.
@@ -163,6 +216,20 @@ func newSimulator(c *cluster.Cluster, o Options, seed uint64, record bool) (*sim
 	// Prime the probe's sampling loop.
 	if s.probe != nil {
 		s.cal.schedule(s.probe.Period, evSample, 0, nil, 0, nil)
+	}
+	// Prime one breakdown candidate per failing tier (see handleBreakdown
+	// for the thinning construction) and the admission-control epoch.
+	if s.failures != nil {
+		for j, fc := range s.failures {
+			if fc == nil {
+				continue
+			}
+			st := s.stations[j]
+			s.cal.schedule(s.failRNG[j].Exp(float64(st.servers)/fc.MTBF), evBreakdown, 0, nil, j, nil)
+		}
+	}
+	if s.shedCfg != nil {
+		s.cal.schedule(s.shedCfg.Period, evShedEpoch, 0, nil, 0, nil)
 	}
 	return s, nil
 }
@@ -188,6 +255,16 @@ func (s *simulator) run() {
 			s.handleSetupDone(e)
 		case evSample:
 			s.handleSample()
+		case evBreakdown:
+			s.handleBreakdown(e)
+		case evRepair:
+			s.handleRepair(e)
+		case evTimeout:
+			s.handleTimeout(e)
+		case evRetry:
+			s.handleRetry(e)
+		case evShedEpoch:
+			s.handleShedEpoch()
 		}
 		// The handler has returned and nothing retains the event (see
 		// pool.go): recycle it for the next schedule.
@@ -220,11 +297,24 @@ func (s *simulator) handleArrival(e *event) {
 		return
 	}
 
+	// Admission control: the current shed level refuses the lowest
+	// s.shedClasses classes before they enter (so they count as shed, not
+	// as arrivals). One compare when shedding is idle or off.
+	if s.shedClasses > 0 && k >= len(s.profiles)-s.shedClasses {
+		s.tr.event(now, TraceShed, k, 0, -1, 0)
+		s.count(pkShed)
+		if now >= s.warmup {
+			s.shed[k]++
+		}
+		return
+	}
+
 	s.jobSeq++
 	j := s.allocJob()
 	j.id, j.class, j.arrival = s.jobSeq, k, now
 	s.tr.event(now, TraceArrival, k, j.id, -1, 0)
 	s.count(pkArrival)
+	s.armDeadline(j, now)
 	if s.inflight != nil {
 		s.inflight[k]++
 	}

@@ -16,6 +16,7 @@ type job struct {
 	remaining  float64 // remaining WORK at the current station (preemption)
 	enqueued   float64 // time it joined the current station (wait accounting)
 	servedTime float64 // in-service time accumulated at the current station
+	attempts   int     // retries consumed so far (deadline extension)
 }
 
 // serviceRun is one (possibly preempted) service occupancy of a server.
@@ -48,6 +49,13 @@ type simStation struct {
 	sleepPower   float64
 	settingUp    int // servers currently warming up
 
+	// Failure extension: servers currently broken (fail-stop, drawing no
+	// power) and the admission-control epoch's busy-server measurement
+	// (only observed when shedding is enabled).
+	failed      int
+	shedEnabled bool
+	shedBusy    stats.TimeWeighted
+
 	// measurement
 	busy      stats.TimeWeighted // number of busy servers over time
 	powerTW   stats.TimeWeighted // instantaneous power draw over time
@@ -58,12 +66,14 @@ type simStation struct {
 }
 
 // instPower returns the station's instantaneous power at its current speed
-// and server states. Without sleep, non-busy servers idle; with sleep they
-// are either warming up (busy power, the standard assumption) or asleep.
+// and server states. Without sleep, non-busy up servers idle and failed
+// servers draw nothing; with sleep (never combined with failures) non-busy
+// servers are either warming up (busy power, the standard assumption) or
+// asleep.
 func (s *simStation) instPower() float64 {
 	b := float64(len(s.running))
 	if !s.sleepEnabled {
-		return b*s.pm.BusyPower(s.speed) + (float64(s.servers)-b)*s.pm.IdlePower(s.speed)
+		return b*s.pm.BusyPower(s.speed) + (float64(s.servers-s.failed)-b)*s.pm.IdlePower(s.speed)
 	}
 	su := float64(s.settingUp)
 	sl := float64(s.servers) - b - su
@@ -96,7 +106,7 @@ func (s *simStation) bankSegment(run *serviceRun, now float64) {
 	s.svcEnergy[run.job.class] += s.powerGap() * seg
 }
 
-func (s *simStation) freeServers() int { return s.servers - len(s.running) }
+func (s *simStation) freeServers() int { return s.servers - s.failed - len(s.running) }
 
 // enqueue adds a job to the station's waiting line at time now.
 func (s *simStation) enqueue(j *job, now float64) {
@@ -124,10 +134,36 @@ func (s *simStation) nextWaiting() *job {
 	return nil
 }
 
-// requeueFront puts a preempted job back at the head of its class queue so it
-// resumes before later arrivals of the same class.
+// requeueFront puts an interrupted (preempted or failed-over) job back at
+// the head of its waiting line so it resumes before later arrivals of its
+// class. Preemption only occurs under PreemptiveResume, but breakdowns
+// interrupt service under any discipline, including FCFS's single line.
 func (s *simStation) requeueFront(j *job) {
+	if s.discipline == queueing.FCFS {
+		s.fifo.pushFront(j)
+		return
+	}
 	s.queues[j.class].pushFront(j)
+}
+
+// runOf returns the service run currently serving j, or nil.
+func (s *simStation) runOf(j *job) *serviceRun {
+	for _, r := range s.running {
+		if r.job == j {
+			return r
+		}
+	}
+	return nil
+}
+
+// removeWaiting deletes j from its waiting line, preserving the order of the
+// remaining jobs, and reports whether it was found. Timeouts are rare
+// relative to arrivals, so the O(queue) scan does not weigh on the hot path.
+func (s *simStation) removeWaiting(j *job) bool {
+	if s.discipline == queueing.FCFS {
+		return s.fifo.removeFirst(j)
+	}
+	return s.queues[j.class].removeFirst(j)
 }
 
 // lowestPriorityRunning returns the run with the numerically largest class
@@ -160,6 +196,9 @@ func (s *simStation) observeBusy(now float64) {
 	s.busy.Observe(now, b)
 	s.epochBusy.Observe(now, b)
 	s.powerTW.Observe(now, s.instPower())
+	if s.shedEnabled {
+		s.shedBusy.Observe(now, b)
+	}
 }
 
 // queueLen returns the number of waiting (not in-service) jobs.

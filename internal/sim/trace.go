@@ -57,4 +57,11 @@ const (
 	TraceRetune     = "retune"      // controller changed a station's speed (value = new speed)
 	TraceSetupBegin = "setup_begin" // a sleeping server starts warming up
 	TraceSetupDone  = "setup_done"
+	TraceBreakdown  = "breakdown"  // a server failed (value = failed count after)
+	TraceRepair     = "repair"     // a server was repaired (value = failed count after)
+	TraceTimeout    = "timeout"    // an attempt's deadline expired (value = age)
+	TraceRetry      = "retry"      // a timed-out request re-enters (value = attempt #)
+	TraceAbandon    = "abandon"    // retry budget spent; the request leaves unserved
+	TraceShed       = "shed"       // an arrival refused by admission control
+	TraceShedLevel  = "shed_level" // admission level changed (value = classes shed)
 )

@@ -54,10 +54,12 @@ func (b *BatchMeans) CI(level float64) float64 {
 }
 
 // RelativePrecision returns CI(level)/|Mean|, the relative half-width, or
-// +Inf when the mean is zero. Useful as a sequential stopping criterion.
+// +Inf when the mean is indistinguishable from zero (a ratio against a mean
+// of ±1e-300 is numeric noise, not precision). Useful as a sequential
+// stopping criterion.
 func (b *BatchMeans) RelativePrecision(level float64) float64 {
 	m := b.Mean()
-	if m == 0 {
+	if almostZero(m) {
 		return math.Inf(1)
 	}
 	return b.CI(level) / math.Abs(m)
@@ -73,19 +75,28 @@ type Estimate struct {
 	Batches int64   // batches or replications behind the half-width
 }
 
+// HasCI reports whether the estimate carries a usable confidence half-width.
+// Replication/batch counts below two leave HalfW as NaN; callers that treat
+// Contains as a pass/fail check should first gate on HasCI, because Contains
+// vacuously succeeds without an interval.
+func (e Estimate) HasCI() bool {
+	return !math.IsNaN(e.HalfW)
+}
+
 // Contains reports whether v lies within the confidence interval. It returns
-// true when no half-width is available, so callers can use it as a soft check.
+// true when no half-width is available (see HasCI), so callers can use it as
+// a soft check; strict validation should require HasCI() && Contains(v).
 func (e Estimate) Contains(v float64) bool {
-	if math.IsNaN(e.HalfW) {
+	if !e.HasCI() {
 		return true
 	}
 	return v >= e.Mean-e.HalfW && v <= e.Mean+e.HalfW
 }
 
 // RelErr returns |Mean-v|/|v| (relative error against a reference value v),
-// or the absolute error when v == 0.
+// or the absolute error when v is indistinguishable from zero.
 func (e Estimate) RelErr(v float64) float64 {
-	if v == 0 {
+	if almostZero(v) {
 		return math.Abs(e.Mean)
 	}
 	return math.Abs(e.Mean-v) / math.Abs(v)
