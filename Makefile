@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race lint fmt tidy-check check
+.PHONY: all build test race lint fmt tidy-check check overhead-gate
 
 all: build
 
@@ -26,5 +26,11 @@ fmt:
 # tidy-check fails if go.mod/go.sum would change under `go mod tidy`.
 tidy-check:
 	$(GO) mod tidy -diff
+
+# overhead-gate asserts the disabled-flight-recorder event loop stays near
+# the recorded baseline (results/BENCH_obs.json; CI's bench-smoke job runs
+# this on every push).
+overhead-gate:
+	CLUSTERQ_OVERHEAD_GATE=1 $(GO) test -run TestDisabledRecorderOverheadGate -v ./internal/sim
 
 check: build fmt tidy-check lint test

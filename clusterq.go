@@ -25,6 +25,8 @@ import (
 	"clusterq/internal/cluster"
 	"clusterq/internal/core"
 	"clusterq/internal/obs"
+	"clusterq/internal/obs/trace"
+	"clusterq/internal/obs/window"
 	"clusterq/internal/opt"
 	"clusterq/internal/power"
 	"clusterq/internal/queueing"
@@ -128,6 +130,27 @@ type (
 	// SolverTraceEntry is one point of an optimizer's convergence trace
 	// (Solution.Result.Trace).
 	SolverTraceEntry = opt.TraceEntry
+	// FlightRecorder is the fixed-capacity ring-buffer recorder of typed
+	// lifecycle events, attached via SimOptions.Recorder; it assembles
+	// per-job Spans and exports Chrome trace-event JSON.
+	FlightRecorder = trace.Recorder
+	// TraceEvent is one recorded lifecycle event (arrival, service start,
+	// preempt, ...) in the FlightRecorder's ring.
+	TraceEvent = trace.Event
+	// Span is one job's assembled lifecycle: queue/service/preempted/backoff
+	// components summing exactly to the sojourn.
+	Span = trace.Span
+	// SpanBreakdown aggregates closed spans per class (counts and summed
+	// components).
+	SpanBreakdown = trace.Breakdown
+	// WindowConfig parameterizes the sliding-window estimators.
+	WindowConfig = window.Config
+	// WindowSet is the bank of streaming sliding-window sensors (per-class
+	// arrival rate, mean and tail sojourn, per-tier utilization) attached
+	// via SimOptions.Windows.
+	WindowSet = window.Set
+	// WindowClassSensor is one class's windowed readings.
+	WindowClassSensor = window.ClassSensor
 )
 
 // Observability constructors.
@@ -136,6 +159,17 @@ var (
 	NewMetricRegistry = obs.NewRegistry
 	// NewTimeline creates a standalone timeline with the given series.
 	NewTimeline = obs.NewTimeline
+	// NewFlightRecorder creates a flight recorder with the given event
+	// capacity (0 = default).
+	NewFlightRecorder = trace.NewRecorder
+	// NewWindowSet builds sliding-window sensors for a class/tier count.
+	NewWindowSet = window.NewSet
+	// ServeMetrics builds the live exposition mux (/metrics, /metrics.json,
+	// /trace, /debug/pprof) over a registry and recorder, either nilable.
+	ServeMetrics = obs.Mux
+	// ListenAndServeMetrics binds an address and serves ServeMetrics on it
+	// in the background, returning the bound address and a stop function.
+	ListenAndServeMetrics = obs.ListenAndServe
 )
 
 // Time-varying arrival profile constructors (dynamic extension).

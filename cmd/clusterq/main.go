@@ -11,6 +11,7 @@
 //	clusterq -run all -csv out/    # also write one CSV per table
 //	clusterq -run all -progress    # experiment heartbeat on stderr
 //	clusterq -run all -metrics-out m.prom   # per-experiment wall-time metrics
+//	clusterq -run all -http :8080  # live /metrics and /debug/pprof during the suite
 package main
 
 import (
@@ -38,6 +39,7 @@ func main() {
 		workers    = flag.Int("sweep-workers", 0, "max concurrent sweep points within one experiment (0 = one per CPU, 1 = serial); results are identical at every setting")
 		progress   = flag.Bool("progress", false, "print a periodic experiment-progress heartbeat to stderr")
 		metricsOut = flag.String("metrics-out", "", "write per-experiment wall-time metrics to this file (.prom/.txt for Prometheus text, else JSON)")
+		httpAddr   = flag.String("http", "", "serve /metrics, /metrics.json and /debug/pprof on this address while the suite runs")
 	)
 	flag.Parse()
 
@@ -67,6 +69,17 @@ func main() {
 	cfg := experiments.Config{Quick: *quick, Seed: *seed, Workers: *workers}
 
 	reg := obs.NewRegistry()
+	if *httpAddr != "" {
+		// Live exposition: per-experiment wall-time gauges appear as they
+		// complete, and /debug/pprof profiles long suite runs in place.
+		addr, stop, err := obs.ListenAndServe(*httpAddr, reg, nil)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer stop()
+		fmt.Fprintf(os.Stderr, "clusterq: serving /metrics and /debug/pprof on http://%s\n", addr)
+	}
 	var completed atomic.Int64
 	start := time.Now()
 	if *progress {

@@ -14,6 +14,9 @@
 //	       [-sample-period 10]            # probe: sample queues/util/power
 //	       [-metrics-out m.json]          # metric exposition (.prom for Prometheus text)
 //	       [-timeline-out tl.csv]         # sampled time series as CSV
+//	       [-span-out spans.json]         # flight recorder: Chrome trace-event JSON (forces 1 replication)
+//	       [-window 500 -window-buckets 16 -window-quantile 0.99]  # sliding-window sensors
+//	       [-http :8080]                  # live /metrics, /metrics.json, /trace, /debug/pprof
 //	       [-progress]                    # periodic replication heartbeat on stderr
 //	       [-cpuprofile cpu.pb.gz -memprofile mem.pb.gz]  # pprof hooks
 //
@@ -28,14 +31,18 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
 	"strings"
 	"sync/atomic"
+	"syscall"
 	"time"
 
 	"clusterq/internal/cluster"
 	"clusterq/internal/obs"
+	"clusterq/internal/obs/trace"
+	"clusterq/internal/obs/window"
 	"clusterq/internal/queueing"
 	"clusterq/internal/sim"
 )
@@ -72,6 +79,11 @@ func main() {
 		samplePeriod = flag.Float64("sample-period", 0, "probe sampling period in simulated seconds (0 disables the probe)")
 		metricsOut   = flag.String("metrics-out", "", "write metrics to this file (.prom/.txt for Prometheus text, else JSON)")
 		timelineOut  = flag.String("timeline-out", "", "write the probe's sampled time series to this CSV file (requires -sample-period)")
+		spanOut      = flag.String("span-out", "", "attach the flight recorder and write Chrome trace-event JSON to this file (forces 1 replication; load in Perfetto)")
+		winWidth     = flag.Float64("window", 0, "sliding-window width in simulated seconds for the streaming sensors (0 disables)")
+		winBuckets   = flag.Int("window-buckets", 0, "buckets per sliding window (0 = default 16)")
+		winQuantile  = flag.Float64("window-quantile", 0, "sojourn tail quantile the window sensors track (0 = default 0.99)")
+		httpAddr     = flag.String("http", "", "serve /metrics, /metrics.json, /trace and /debug/pprof on this address during and after the run")
 		progress     = flag.Bool("progress", false, "print a periodic replication-progress heartbeat to stderr")
 		cpuprofile   = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 		memprofile   = flag.String("memprofile", "", "write a pprof heap profile to this file")
@@ -111,14 +123,15 @@ func main() {
 		opts.Quantiles = []float64{*q}
 	}
 
-	// Observability: a positive sampling period (or any metrics request)
-	// attaches the probe; the registry collects event counters and run
-	// gauges for the exposition file.
+	// Observability: a positive sampling period (or any metrics request,
+	// including live HTTP exposition and the window sensors, which ride the
+	// probe tick) attaches the probe; the registry collects event counters
+	// and run gauges for the exposition file and the /metrics endpoints.
 	var reg *obs.Registry
 	if *samplePeriod < 0 {
 		fatal(fmt.Errorf("-sample-period must be positive, got %g", *samplePeriod))
 	}
-	if *samplePeriod > 0 || *metricsOut != "" {
+	if *samplePeriod > 0 || *metricsOut != "" || *httpAddr != "" || *winWidth > 0 {
 		reg = obs.NewRegistry()
 		period := *samplePeriod
 		if period <= 0 {
@@ -127,6 +140,45 @@ func main() {
 		opts.Probe = &sim.Probe{Period: period, Registry: reg}
 	} else if *timelineOut != "" {
 		fatal(fmt.Errorf("-timeline-out requires -sample-period"))
+	}
+	if (*winBuckets != 0 || *winQuantile != 0) && *winWidth <= 0 {
+		fatal(fmt.Errorf("-window-buckets/-window-quantile require -window"))
+	}
+	if *winWidth > 0 {
+		w, err := window.NewSet(window.Config{
+			Width: *winWidth, Buckets: *winBuckets, Quantile: *winQuantile,
+		}, len(c.Classes), len(c.Tiers))
+		if err != nil {
+			fatal(err)
+		}
+		// Bound gauges make the live /metrics endpoints show the sensors'
+		// current readings; each probe tick republishes them.
+		w.Bind(reg)
+		opts.Windows = w
+	}
+
+	// The flight recorder: -span-out asks for the Chrome trace, and a live
+	// /trace endpoint wants one too when the run is single-replication
+	// anyway (the recorder contract; see sim.Options.Recorder).
+	var rec *trace.Recorder
+	if *spanOut != "" || (*httpAddr != "" && *reps == 1 && *tracePath == "") {
+		rec = trace.NewRecorder(0)
+		opts.Recorder = rec
+		if *spanOut != "" && *reps != 1 {
+			opts.Replications = 1
+			fmt.Printf("recording spans to %s (single replication)\n", *spanOut)
+		}
+	}
+
+	// Live exposition starts before the run so long simulations can be
+	// profiled (/debug/pprof) and watched (/metrics) while they execute.
+	if *httpAddr != "" {
+		addr, stop, err := obs.ListenAndServe(*httpAddr, reg, rec)
+		if err != nil {
+			fatal(err)
+		}
+		defer stop()
+		fmt.Printf("serving /metrics, /metrics.json, /trace, /debug/pprof on http://%s\n", addr)
 	}
 
 	var progressDone atomic.Int64
@@ -142,24 +194,17 @@ func main() {
 			}
 		}()
 	}
-	// finishTrace flushes and closes the trace file once the run succeeded;
-	// deferring the flush would drop its error and silently truncate the
-	// trace — the exact failure mode sim.Run's own error propagation guards
-	// against for mid-run writes.
+	// finishTrace closes the trace file once the run succeeded. sim.Run
+	// buffers and flushes internally (and propagates write errors), so the
+	// file handle goes straight in; only the close is ours to check.
 	finishTrace := func() error { return nil }
 	if *tracePath != "" {
 		f, err := os.Create(*tracePath)
 		if err != nil {
 			fatal(err)
 		}
-		bw := bufio.NewWriterSize(f, 1<<20)
-		finishTrace = func() error {
-			if err := bw.Flush(); err != nil {
-				return err
-			}
-			return f.Close()
-		}
-		opts.Trace = bw
+		finishTrace = func() error { return f.Close() }
+		opts.Trace = f
 		opts.Replications = 1
 		fmt.Printf("tracing events to %s (single replication)\n", *tracePath)
 	}
@@ -222,6 +267,13 @@ func main() {
 	if err := finishTrace(); err != nil {
 		fatal(fmt.Errorf("trace: %w", err))
 	}
+	if *spanOut != "" {
+		if err := writeSpans(*spanOut, rec); err != nil {
+			fatal(fmt.Errorf("span-out: %w", err))
+		}
+		fmt.Printf("chrome trace written to %s (%d spans; load via https://ui.perfetto.dev)\n",
+			*spanOut, len(rec.Spans()))
+	}
 
 	fmt.Printf("simulated %d replications of %.4g s (warmup %.4g s)\n\n",
 		*reps, *horizon, *horizon*0.1)
@@ -259,6 +311,27 @@ func main() {
 			fmt.Printf("  %-10s goodput %8.4g req/s (offered %.4g)   timeouts %d  retries %d  abandoned %d  shed %d\n",
 				cl.Name, res.Goodput[k].Mean, cl.Lambda,
 				res.Timeouts[k], res.Retries[k], res.Abandoned[k], res.Shed[k])
+		}
+	}
+
+	if rec != nil {
+		fmt.Println("\nflight recorder: per-class sojourn breakdown (mean s):")
+		for k, cl := range c.Classes {
+			b := rec.Breakdown(k)
+			fmt.Printf("  %-10s spans %6d (abandoned %d, dropped %d)   queue %8.4g  service %8.4g  preempted %8.4g  backoff %8.4g  = sojourn %8.4g\n",
+				cl.Name, b.Spans(), b.Abandoned, b.Dropped,
+				b.MeanQueue(), b.MeanService(), b.MeanPreempted(), b.MeanBackoff(), b.MeanSojourn())
+		}
+		if n := rec.SpansDropped() + rec.EventsDropped(); n > 0 {
+			fmt.Printf("  (ring overflow: %d records dropped; raise the recorder capacity)\n", n)
+		}
+	}
+	if w := opts.Windows; w != nil {
+		fmt.Printf("\nwindow sensors (last %.4g s of the recording replication):\n", w.Config().Width)
+		for k, cl := range c.Classes {
+			cs := w.Class(*horizon, k)
+			fmt.Printf("  %-10s λ̂ %8.4g/s   mean sojourn %8.4g s   %s %8.4g s\n",
+				cl.Name, cs.Rate, cs.MeanSojourn, w.Config().QuantileLabel(), cs.TailSojourn)
 		}
 	}
 
@@ -312,6 +385,33 @@ func main() {
 			fatal(err)
 		}
 	}
+	if *httpAddr != "" {
+		// The run is done but the endpoints stay live (final gauges, the
+		// recorded trace, pprof) until the user interrupts.
+		fmt.Println("run complete; still serving — interrupt (Ctrl-C) to exit")
+		ch := make(chan os.Signal, 1)
+		signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
+		<-ch
+	}
+}
+
+// writeSpans dumps the recorder's spans as Chrome trace-event JSON.
+func writeSpans(path string, rec *trace.Recorder) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	// Safety net for early error returns; the success path closes (and
+	// checks) explicitly below.
+	defer func() { _ = f.Close() }()
+	w := bufio.NewWriter(f)
+	if err := rec.WriteChromeTrace(w); err != nil {
+		return err
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	return f.Close()
 }
 
 // writeMetrics writes the registry to path: Prometheus text when the

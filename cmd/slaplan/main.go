@@ -10,6 +10,7 @@
 //	        [-availability 0.95]     # size so SLAs hold at this availability
 //	        [-progress]              # phase/timing heartbeat on stderr
 //	        [-metrics-out m.json]    # solver metrics (.prom for Prometheus text)
+//	        [-http :8080]            # live /metrics and /debug/pprof while solving
 package main
 
 import (
@@ -32,6 +33,7 @@ func main() {
 		avail      = flag.Float64("availability", 0, "plan at this server availability in (0,1] so SLAs survive breakdowns (0 = nominal capacity)")
 		progress   = flag.Bool("progress", false, "print solver phase progress to stderr")
 		metricsOut = flag.String("metrics-out", "", "write solver metrics to this file (.prom/.txt for Prometheus text, else JSON)")
+		httpAddr   = flag.String("http", "", "serve /metrics, /metrics.json and /debug/pprof on this address while solving")
 	)
 	flag.Parse()
 	if *path == "" {
@@ -48,6 +50,16 @@ func main() {
 	}
 
 	reg := obs.NewRegistry()
+	if *httpAddr != "" {
+		// Phase-timing gauges and solver diagnostics go live as each phase
+		// finishes; /debug/pprof profiles slow solves in place.
+		addr, stop, err := obs.ListenAndServe(*httpAddr, reg, nil)
+		if err != nil {
+			fatal(err)
+		}
+		defer stop()
+		fmt.Fprintf(os.Stderr, "slaplan: serving /metrics and /debug/pprof on http://%s\n", addr)
+	}
 	phase := func(name string) func() {
 		start := time.Now()
 		if *progress {

@@ -1,9 +1,11 @@
 package experiments
 
 import (
+	"fmt"
 	"math"
 
 	"clusterq/internal/cluster"
+	"clusterq/internal/obs/window"
 	"clusterq/internal/sim"
 	"clusterq/internal/workload"
 )
@@ -63,7 +65,49 @@ func (E1) Run(cfg Config) ([]*Table, error) {
 			t.AddRow(frac, cl.Name, p.model.Delay[k], SimEstimate(est), Pct(est.RelErr(p.model.Delay[k])))
 		}
 	}
-	return []*Table{t}, nil
+
+	tw, err := e1WindowTable(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return []*Table{t, tw}, nil
+}
+
+// e1WindowFrac is the load level the window-sensor cross-check runs at: the
+// moderate point where both the analytic model and the estimators are
+// comfortably in their regime.
+const e1WindowFrac = 0.7
+
+// e1WindowTable cross-checks the streaming sliding-window estimators against
+// ground truth on the E1 scenario: the windowed arrival-rate estimate against
+// the offered λ, and the windowed mean sojourn against the long-run simulated
+// delay. It is the experiment-level exercise of the sensor API the online
+// controller will read.
+func e1WindowTable(cfg Config) (*Table, error) {
+	horizon, _ := cfg.simScale()
+	c := workload.CapacityFraction(workload.Enterprise3Tier(1), e1WindowFrac)
+	w, err := window.NewSet(window.Config{Width: horizon / 4}, len(c.Classes), len(c.Tiers))
+	if err != nil {
+		return nil, err
+	}
+	res, err := sim.Run(c, sim.Options{
+		Horizon: horizon, Replications: 1, Seed: cfg.Seed + 10,
+		Windows: w, Probe: &sim.Probe{Period: horizon / 200},
+	})
+	if err != nil {
+		return nil, err
+	}
+	tw := NewTable(
+		fmt.Sprintf("window sensors vs ground truth (load %.0f%%, window %.4g s, 1 replication)",
+			100*e1WindowFrac, w.Config().Width),
+		"class", "λ offered", "window λ̂", "delay sim (s)",
+		"window mean (s)", "window "+w.Config().QuantileLabel()+" (s)")
+	for k, cl := range c.Classes {
+		cs := w.Class(horizon, k)
+		tw.AddRow(cl.Name, cl.Lambda, cs.Rate, SimEstimate(res.Delay[k]),
+			cs.MeanSojourn, cs.TailSojourn)
+	}
+	return tw, nil
 }
 
 // E2 reconstructs Table II: analytical vs simulated average power and

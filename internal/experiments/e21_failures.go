@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"clusterq/internal/cluster"
+	"clusterq/internal/obs/trace"
 	"clusterq/internal/sim"
 	"clusterq/internal/workload"
 )
@@ -110,6 +111,35 @@ func runE21Point(cfg Config, a float64, seed uint64) (e21Point, error) {
 	return e21Point{model: m, plain: plain, degraded: degraded}, nil
 }
 
+// e21RecorderAvailability is the sweep point the flight-recorder breakdown
+// table zooms into: degraded enough that preemption-by-breakdown and the
+// retry machinery contribute visibly to sojourns.
+const e21RecorderAvailability = 0.9
+
+// runE21Recorder reruns the graceful-degradation scenario at one availability
+// with the flight recorder attached (single replication, the recorder
+// contract) and returns the per-class span breakdowns.
+func runE21Recorder(cfg Config, a float64, seed uint64) (*trace.Recorder, error) {
+	horizon, _ := cfg.simScale()
+	c := e21Cluster()
+	rec := trace.NewRecorder(1 << 17)
+	_, err := sim.Run(c, sim.Options{
+		Horizon: horizon, Replications: 1, Seed: seed,
+		Recorder: rec,
+		Failures: e21Failures(c, a),
+		Deadlines: []*sim.DeadlineConfig{
+			{Deadline: 8, MaxRetries: 2, RetryBackoff: 0.5},
+			{Deadline: 10, MaxRetries: 1, RetryBackoff: 1},
+			{Deadline: 12},
+		},
+		Shedding: &sim.SheddingConfig{Threshold: 0.92, Period: 25},
+	})
+	if err != nil {
+		return nil, err
+	}
+	return rec, nil
+}
+
 func (E21) Run(cfg Config) ([]*Table, error) {
 	base := e21Cluster()
 	points, err := sweep(cfg, len(e21Availabilities), func(i int) (e21Point, error) {
@@ -149,7 +179,27 @@ func (E21) Run(cfg Config) ([]*Table, error) {
 				SimEstimate(d.Delay[k]), slaCell)
 		}
 	}
-	return []*Table{tv, tg}, nil
+
+	// The flight-recorder zoom: where each class's sojourn actually goes
+	// (queueing vs service vs breakdown-preempted vs retry backoff) at one
+	// degraded point — the per-component story the aggregate delay column
+	// cannot tell.
+	rec, err := runE21Recorder(cfg, e21RecorderAvailability, cfg.Seed+210)
+	if err != nil {
+		return nil, err
+	}
+	tb := NewTable(
+		fmt.Sprintf("flight recorder: mean sojourn breakdown at availability %.2g (1 replication)",
+			e21RecorderAvailability),
+		"class", "spans", "abandoned", "queue (s)", "service (s)",
+		"preempted (s)", "backoff (s)", "sojourn (s)")
+	for k, cl := range base.Classes {
+		b := rec.Breakdown(k)
+		tb.AddRow(cl.Name, b.Spans(), b.Abandoned,
+			b.MeanQueue(), b.MeanService(), b.MeanPreempted(), b.MeanBackoff(),
+			b.MeanSojourn())
+	}
+	return []*Table{tv, tg, tb}, nil
 }
 
 // MaxFailureValidationError runs E21's breakdown-only sweep and returns the

@@ -23,6 +23,7 @@ func TestFloatEq(t *testing.T) {
 func TestNilNoop(t *testing.T) {
 	linttest.Run(t, fixtures, lint.NilNoop,
 		"nilnoop/internal/obs",
+		"nilnoop/internal/obs/trace",
 		"nilnoop/docpkg",
 	)
 }

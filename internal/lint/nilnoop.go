@@ -90,10 +90,19 @@ func runNilNoop(pass *Pass) error {
 	return nil
 }
 
-// isObsPackage reports whether the package is the observability layer, where
-// the contract covers every exported pointer-receiver method.
+// isObsPackage reports whether the package is in the observability layer —
+// internal/obs or any package beneath it (obs/trace, obs/window, ...) —
+// where the contract covers every exported pointer-receiver method.
 func isObsPackage(pkgPath string) bool {
-	return pkgPath == "internal/obs" || strings.HasSuffix(pkgPath, "/internal/obs")
+	const root = "internal/obs"
+	if pkgPath == root || strings.HasPrefix(pkgPath, root+"/") {
+		return true
+	}
+	if i := strings.Index(pkgPath, "/"+root); i >= 0 {
+		rest := pkgPath[i+1+len(root):]
+		return rest == "" || strings.HasPrefix(rest, "/")
+	}
+	return false
 }
 
 // receiverInfo extracts the receiver variable name, base type name, and

@@ -173,6 +173,47 @@ func (h *Histogram) BucketCounts() []int64 {
 	return out
 }
 
+// Quantile estimates the q-quantile (q in [0,1]) from the bucket counts by
+// linear interpolation within the containing bucket, the standard
+// histogram_quantile approach. The first bucket interpolates from 0 when its
+// upper bound is positive (from the bound itself otherwise); ranks landing
+// in the overflow bucket return the largest finite bound, the best the
+// histogram can claim. Returns NaN on a nil or empty histogram or a q
+// outside [0,1].
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil || math.IsNaN(q) || q < 0 || q > 1 {
+		return math.NaN()
+	}
+	n := h.n.Load()
+	if n == 0 {
+		return math.NaN()
+	}
+	rank := q * float64(n)
+	var cum float64
+	for i := range h.counts {
+		c := float64(h.counts[i].Load())
+		if c == 0 {
+			continue
+		}
+		if cum+c >= rank {
+			if i == len(h.bounds) { // overflow bucket
+				return h.bounds[len(h.bounds)-1]
+			}
+			lower := 0.0
+			if i > 0 {
+				lower = h.bounds[i-1]
+			} else if h.bounds[0] <= 0 {
+				lower = h.bounds[0]
+			}
+			upper := h.bounds[i]
+			return lower + (upper-lower)*(rank-cum)/c
+		}
+		cum += c
+	}
+	// Unreachable when counts and n agree; be safe under racing observes.
+	return h.bounds[len(h.bounds)-1]
+}
+
 // LinearBuckets returns n strictly increasing bounds start, start+width, ….
 func LinearBuckets(start, width float64, n int) []float64 {
 	if n < 1 {

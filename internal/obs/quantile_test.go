@@ -1,0 +1,70 @@
+package obs
+
+import (
+	"math"
+	"testing"
+
+	"clusterq/internal/stats"
+)
+
+// TestHistogramQuantile checks the interpolated estimate against exact
+// sample quantiles on uniform data with fine buckets.
+func TestHistogramQuantile(t *testing.T) {
+	h, err := newHistogram(LinearBuckets(0.1, 0.1, 100)) // 0.1..10
+	if err != nil {
+		t.Fatal(err)
+	}
+	var vals []float64
+	for i := 1; i <= 2000; i++ {
+		v := float64(i) / 200 // 0.005..10
+		vals = append(vals, v)
+		h.Observe(v)
+	}
+	for _, q := range []float64{0.1, 0.5, 0.9, 0.99} {
+		got := h.Quantile(q)
+		exact := stats.ExactQuantile(vals, q)
+		if math.Abs(got-exact) > 0.1 { // one bucket width
+			t.Errorf("q=%g: histogram %g vs exact %g", q, got, exact)
+		}
+	}
+}
+
+func TestHistogramQuantileEdges(t *testing.T) {
+	h, _ := newHistogram([]float64{1, 2, 4})
+	if !math.IsNaN(h.Quantile(0.5)) {
+		t.Error("empty histogram quantile not NaN")
+	}
+	h.Observe(0.5)
+	h.Observe(1.5)
+	h.Observe(3)
+	h.Observe(100) // overflow
+
+	if !math.IsNaN(h.Quantile(-0.1)) || !math.IsNaN(h.Quantile(1.1)) || !math.IsNaN(h.Quantile(math.NaN())) {
+		t.Error("out-of-range q not NaN")
+	}
+	// Rank 4 of 4 lands in the overflow bucket → largest finite bound.
+	if got := h.Quantile(1); got != 4 {
+		t.Errorf("Quantile(1) = %g, want 4 (overflow clamps)", got)
+	}
+	// q=0 interpolates from the first bucket's lower edge (0, since
+	// bounds[0] > 0).
+	if got := h.Quantile(0); got != 0 {
+		t.Errorf("Quantile(0) = %g, want 0", got)
+	}
+	// Median of 4 → rank 2: second observation, bucket (1,2], midpoint-ish.
+	if got := h.Quantile(0.5); !(got > 1 && got <= 2) {
+		t.Errorf("Quantile(0.5) = %g, want in (1,2]", got)
+	}
+
+	// Negative first bound: lower edge falls back to the bound itself.
+	hn, _ := newHistogram([]float64{-1, 0, 1})
+	hn.Observe(-2)
+	if got := hn.Quantile(0.5); got != -1 {
+		t.Errorf("negative-bound Quantile = %g, want -1", got)
+	}
+
+	var nilH *Histogram
+	if !math.IsNaN(nilH.Quantile(0.5)) {
+		t.Error("nil histogram quantile not NaN")
+	}
+}

@@ -1,0 +1,80 @@
+// Live HTTP exposition: a mux serving the registry in Prometheus and JSON
+// form, the flight recorder as Chrome trace-event JSON, and the runtime's
+// pprof profiles. All CLIs mount this behind a -http flag.
+package obs
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+
+	"clusterq/internal/obs/trace"
+)
+
+// Mux builds an http.ServeMux exposing:
+//
+//	/metrics       — registry in Prometheus text format
+//	/metrics.json  — registry as JSON
+//	/trace         — recorder as Chrome trace-event JSON (Perfetto-loadable);
+//	                 ?drain=1 clears the event ring after reading
+//	/debug/pprof/  — the runtime's pprof profiles
+//
+// Either reg or rec may be nil: the endpoints still answer with empty (but
+// well-formed) documents, so a dashboard can poll before a run attaches.
+func Mux(reg *Registry, rec *trace.Recorder) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if reg == nil {
+			return
+		}
+		if err := reg.WritePrometheus(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if reg == nil {
+			//lint:errsink an HTTP response write has no useful error sink
+			fmt.Fprintln(w, `{"metrics":[]}`)
+			return
+		}
+		if err := reg.WriteJSON(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/trace", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		var err error
+		if r.URL.Query().Get("drain") == "1" {
+			err = trace.WriteChromeTrace(w, rec.Drain())
+		} else {
+			err = rec.WriteChromeTrace(w)
+		}
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// ListenAndServe binds addr (e.g. ":8080" or "127.0.0.1:0"), serves Mux(reg,
+// rec) on it in a background goroutine, and returns the bound address plus a
+// stop function that closes the listener. The error is non-nil only if the
+// listen itself failed.
+func ListenAndServe(addr string, reg *Registry, rec *trace.Recorder) (string, func(), error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, fmt.Errorf("obs: listen %s: %w", addr, err)
+	}
+	srv := &http.Server{Handler: Mux(reg, rec)}
+	go srv.Serve(ln)                   //nolint:errcheck — Serve always returns non-nil on Close
+	stop := func() { _ = srv.Close() } // shutdown is best-effort
+	return ln.Addr().String(), stop, nil
+}

@@ -1,0 +1,152 @@
+// Chrome trace-event JSON export: the recorder's event log rendered as a
+// Perfetto/chrome://tracing-loadable document. Service visits become "X"
+// (complete) slices on per-tier tracks; arrivals, timeouts, backoffs,
+// resumes, and exits become "i" (instant) markers on a lifecycle track.
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// chromeEvent is one entry of the traceEvents array. Field order (and
+// encoding/json's stable struct-field ordering) makes the output
+// deterministic for golden-fixture tests.
+type chromeEvent struct {
+	Name string      `json:"name"`
+	Ph   string      `json:"ph"`
+	Ts   float64     `json:"ts"`            // microseconds
+	Dur  float64     `json:"dur,omitempty"` // microseconds, "X" only
+	Pid  int         `json:"pid"`
+	Tid  int         `json:"tid"`
+	S    string      `json:"s,omitempty"` // instant scope
+	Cat  string      `json:"cat,omitempty"`
+	Args *chromeArgs `json:"args,omitempty"`
+}
+
+type chromeArgs struct {
+	Job     uint64  `json:"job,omitempty"`
+	Class   int32   `json:"class"`
+	Name    string  `json:"name,omitempty"`
+	Value   float64 `json:"value,omitempty"`
+	Outcome string  `json:"outcome,omitempty"`
+}
+
+type chromeDoc struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// lifecycleTid is the track instant markers land on; tier j maps to
+// tid j+1+lifecycleTid.
+const lifecycleTid = 0
+
+const usPerSec = 1e6
+
+// WriteChromeTrace renders the recorder's current event buffer as a Chrome
+// trace-event JSON document. A nil recorder writes an empty (but valid)
+// document. The recorder is snapshotted, not drained.
+func (r *Recorder) WriteChromeTrace(w io.Writer) error {
+	if r == nil {
+		return WriteChromeTrace(w, nil)
+	}
+	return WriteChromeTrace(w, r.Events())
+}
+
+// WriteChromeTrace renders an event slice (oldest first, as returned by
+// Recorder.Events or Drain) as a Chrome trace-event JSON document.
+//
+// Service visits are paired into "X" slices per (job, station): a
+// service_start opens a slice that the next service_stop, preempt, or
+// timeout for the same job closes. Slices still open when the log ends are
+// dropped (the ring may have evicted their close events). All other kinds
+// become thread-scoped instants on the lifecycle track.
+func WriteChromeTrace(w io.Writer, events []Event) error {
+	type openSlice struct {
+		start   float64
+		station int32
+		class   int32
+	}
+	open := map[uint64]openSlice{}
+
+	maxStation := int32(-1)
+	for _, e := range events {
+		if e.Station > maxStation {
+			maxStation = e.Station
+		}
+	}
+
+	out := make([]chromeEvent, 0, len(events)+int(maxStation)+2)
+	// Track-name metadata first: lifecycle track, then one per tier.
+	out = append(out, chromeEvent{
+		Name: "thread_name", Ph: "M", Pid: 1, Tid: lifecycleTid,
+		Args: &chromeArgs{Name: "lifecycle", Class: -1},
+	})
+	for j := int32(0); j <= maxStation; j++ {
+		out = append(out, chromeEvent{
+			Name: "thread_name", Ph: "M", Pid: 1, Tid: int(j) + 1 + lifecycleTid,
+			Args: &chromeArgs{Name: fmt.Sprintf("tier %d", j), Class: -1},
+		})
+	}
+
+	closeSlice := func(e Event) {
+		sl, ok := open[e.Job]
+		if !ok {
+			return
+		}
+		delete(open, e.Job)
+		out = append(out, chromeEvent{
+			Name: fmt.Sprintf("class%d job%d", sl.class, e.Job),
+			Ph:   "X",
+			Ts:   sl.start * usPerSec,
+			Dur:  (e.T - sl.start) * usPerSec,
+			Pid:  1,
+			Tid:  int(sl.station) + 1 + lifecycleTid,
+			Cat:  "service",
+			Args: &chromeArgs{Job: e.Job, Class: sl.class},
+		})
+	}
+	instant := func(e Event, args *chromeArgs) {
+		out = append(out, chromeEvent{
+			Name: fmt.Sprintf("%s class%d", e.Kind, e.Class),
+			Ph:   "i",
+			Ts:   e.T * usPerSec,
+			Pid:  1,
+			Tid:  lifecycleTid,
+			S:    "t",
+			Cat:  "lifecycle",
+			Args: args,
+		})
+	}
+
+	for _, e := range events {
+		switch e.Kind {
+		case KindServiceStart:
+			// A start while a slice is open (missed close in a wrapped
+			// ring) closes the stale slice at its own start time.
+			if _, ok := open[e.Job]; ok {
+				delete(open, e.Job)
+			}
+			open[e.Job] = openSlice{start: e.T, station: e.Station, class: e.Class}
+		case KindServiceStop, KindPreempt:
+			closeSlice(e)
+			if e.Kind == KindPreempt {
+				instant(e, &chromeArgs{Job: e.Job, Class: e.Class})
+			}
+		case KindTimeout:
+			closeSlice(e)
+			instant(e, &chromeArgs{Job: e.Job, Class: e.Class})
+		case KindExit:
+			instant(e, &chromeArgs{Job: e.Job, Class: e.Class,
+				Outcome: Outcome(e.Value).String()})
+		case KindBackoff:
+			instant(e, &chromeArgs{Job: e.Job, Class: e.Class, Value: e.Value})
+		default: // arrival, resume
+			instant(e, &chromeArgs{Job: e.Job, Class: e.Class})
+		}
+	}
+
+	enc := json.NewEncoder(w)
+	return enc.Encode(chromeDoc{TraceEvents: out, DisplayTimeUnit: "ms"})
+}

@@ -1,0 +1,607 @@
+// Package trace is clusterq's flight recorder: a fixed-capacity, typed
+// ring buffer of job lifecycle events that assembles per-job spans with an
+// exact queue/service/preempted/backoff decomposition of every sojourn.
+//
+// The package follows the observability layer's nil-is-a-no-op contract
+// (enforced by the in-tree nilnoop analyzer): every exported pointer-receiver
+// method returns immediately on a nil receiver, so instrumented code may call
+// hooks unconditionally. The simulator nonetheless guards its hot-path call
+// sites with an explicit nil check so the disabled recorder costs a single
+// predictable branch per event.
+//
+// Memory is bounded by construction: events and completed spans live in
+// fixed-capacity rings that overwrite their oldest entries (counting what was
+// dropped), and per-job open-span records are recycled through a free list.
+// Per-class aggregates are never dropped — they accumulate every closed span
+// even after the span ring has wrapped.
+package trace
+
+import (
+	"fmt"
+	"math"
+	"sync"
+)
+
+// Kind identifies a lifecycle event type.
+type Kind uint8
+
+const (
+	// KindArrival marks a job entering the system (span opens, queueing
+	// starts).
+	KindArrival Kind = iota
+	// KindServiceStart marks a server beginning (or resuming) work on the
+	// job at a station.
+	KindServiceStart
+	// KindServiceStop marks the job completing its service visit at a
+	// station and returning to a queue (or exiting).
+	KindServiceStop
+	// KindPreempt marks the job being forced off a server (priority
+	// preemption or server breakdown) with work remaining.
+	KindPreempt
+	// KindTimeout marks the job's deadline firing while in system.
+	KindTimeout
+	// KindBackoff marks the job entering retry backoff after a timeout.
+	KindBackoff
+	// KindResume marks the job re-entering the system after backoff.
+	KindResume
+	// KindExit marks the job leaving the system; Value carries the Outcome.
+	KindExit
+	numKinds
+)
+
+var kindNames = [numKinds]string{
+	"arrival", "service_start", "service_stop", "preempt",
+	"timeout", "backoff", "resume", "exit",
+}
+
+// String returns the event kind's wire name (stable, used in exports).
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// Outcome classifies how a span closed.
+type Outcome uint8
+
+const (
+	// OutcomeCompleted is a normal departure after finishing service.
+	OutcomeCompleted Outcome = iota
+	// OutcomeAbandoned is a deadline abandonment (retries exhausted or
+	// retry disabled).
+	OutcomeAbandoned
+	// OutcomeDropped is an admission drop (shed at arrival or re-entry).
+	OutcomeDropped
+	numOutcomes
+)
+
+var outcomeNames = [numOutcomes]string{"completed", "abandoned", "dropped"}
+
+// String returns the outcome's wire name.
+func (o Outcome) String() string {
+	if int(o) < len(outcomeNames) {
+		return outcomeNames[o]
+	}
+	return fmt.Sprintf("outcome(%d)", int(o))
+}
+
+// Event is one recorded lifecycle event. Station is -1 for events not tied
+// to a station (arrival, backoff, resume, exit). Value is kind-specific:
+// the Outcome for KindExit, the attempt number for KindBackoff, otherwise 0.
+type Event struct {
+	T       float64 // simulated time, seconds
+	Job     uint64  // job id (unique within a replication)
+	Value   float64 // kind-specific payload
+	Class   int32   // job class index
+	Station int32   // tier index, or -1
+	Kind    Kind
+}
+
+// Span is the assembled lifecycle of one job. The four components partition
+// the job's time in system by what the job was doing:
+//
+//	Queue     — waiting in a station queue (or between stations) for a server
+//	Service   — actively being served
+//	Preempted — forced off a server with work remaining, waiting to resume
+//	Backoff   — out of the system between a timeout-triggered retry and
+//	            its re-entry
+//
+// Sojourn() is *defined* as the fixed-order sum of the components, so the
+// decomposition is exact by construction; End-Arrival equals that sum up to
+// float addition-order dust (the recorder accumulates each component across
+// possibly many segments, and float addition is not associative). Tests
+// assert the two agree to ~1e-9 relative.
+type Span struct {
+	Job       uint64
+	Arrival   float64 // time the span opened
+	End       float64 // time the span closed
+	Queue     float64
+	Service   float64
+	Preempted float64
+	Backoff   float64
+	Class     int32
+	Attempts  int32 // retry re-entries (0 for a first-attempt completion)
+	Outcome   Outcome
+}
+
+// Sojourn returns the span's total time in system as the fixed-order sum
+// Queue + Service + Preempted + Backoff. This is the canonical sojourn:
+// the breakdown sums to it exactly, by definition.
+func (s Span) Sojourn() float64 {
+	return s.Queue + s.Service + s.Preempted + s.Backoff
+}
+
+// Breakdown aggregates closed spans of one class: counts by outcome and the
+// summed components. Means divide by the total closed-span count.
+type Breakdown struct {
+	Class     int
+	Completed int64
+	Abandoned int64
+	Dropped   int64
+	Queue     float64
+	Service   float64
+	Preempted float64
+	Backoff   float64
+}
+
+// Spans returns the total number of closed spans aggregated.
+func (b Breakdown) Spans() int64 { return b.Completed + b.Abandoned + b.Dropped }
+
+// Sojourn returns the summed sojourn time (fixed-order component sum).
+func (b Breakdown) Sojourn() float64 { return b.Queue + b.Service + b.Preempted + b.Backoff }
+
+func (b Breakdown) mean(sum float64) float64 {
+	n := b.Spans()
+	if n == 0 {
+		return math.NaN()
+	}
+	return sum / float64(n)
+}
+
+// MeanQueue returns mean queueing time per closed span (NaN if none).
+func (b Breakdown) MeanQueue() float64 { return b.mean(b.Queue) }
+
+// MeanService returns mean service time per closed span (NaN if none).
+func (b Breakdown) MeanService() float64 { return b.mean(b.Service) }
+
+// MeanPreempted returns mean preempted time per closed span (NaN if none).
+func (b Breakdown) MeanPreempted() float64 { return b.mean(b.Preempted) }
+
+// MeanBackoff returns mean backoff time per closed span (NaN if none).
+func (b Breakdown) MeanBackoff() float64 { return b.mean(b.Backoff) }
+
+// MeanSojourn returns mean sojourn time per closed span (NaN if none).
+func (b Breakdown) MeanSojourn() float64 { return b.mean(b.Sojourn()) }
+
+// spanState is what an open span's clock is currently charging.
+type spanState uint8
+
+const (
+	stateQueued spanState = iota
+	stateService
+	statePreempted
+	stateBackoff
+)
+
+// openSpan tracks one in-flight job. fold charges the elapsed time since the
+// last event to the current state's accumulator, then switches state.
+type openSpan struct {
+	arrival   float64
+	lastT     float64
+	queue     float64
+	service   float64
+	preempted float64
+	backoff   float64
+	class     int32
+	attempts  int32
+	state     spanState
+}
+
+func (o *openSpan) fold(t float64) {
+	dt := t - o.lastT
+	o.lastT = t
+	if dt <= 0 {
+		return
+	}
+	switch o.state {
+	case stateQueued:
+		o.queue += dt
+	case stateService:
+		o.service += dt
+	case statePreempted:
+		o.preempted += dt
+	case stateBackoff:
+		o.backoff += dt
+	}
+}
+
+// Recorder is the flight recorder. Construct with NewRecorder; the zero
+// value is not usable, but a nil *Recorder is a no-op on every method.
+//
+// All methods are safe for concurrent use (one mutex guards everything), so
+// an HTTP exposition goroutine may snapshot or drain the recorder while the
+// simulator is still feeding it.
+type Recorder struct {
+	mu sync.Mutex
+
+	// events ring
+	ev        []Event
+	evHead    int
+	evLen     int
+	evDropped uint64
+
+	// completed spans ring
+	sp        []Span
+	spHead    int
+	spLen     int
+	spDropped uint64
+
+	open map[uint64]*openSpan
+	free []*openSpan
+
+	agg []Breakdown // indexed by class, grown on demand
+
+	unmatched uint64 // events for jobs with no open span (should be zero)
+}
+
+// DefaultCapacity is the event-ring capacity NewRecorder uses when given a
+// non-positive capacity.
+const DefaultCapacity = 1 << 16
+
+// NewRecorder returns a recorder whose event ring holds capacity events and
+// whose span ring holds capacity/4 completed spans (at least 1024 each).
+// Non-positive capacity selects DefaultCapacity.
+func NewRecorder(capacity int) *Recorder {
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	spCap := capacity / 4
+	if capacity < 1024 {
+		capacity = 1024
+	}
+	if spCap < 1024 {
+		spCap = 1024
+	}
+	return &Recorder{
+		ev:   make([]Event, capacity),
+		sp:   make([]Span, spCap),
+		open: make(map[uint64]*openSpan),
+	}
+}
+
+// push appends to the event ring, overwriting (and counting) the oldest
+// entry when full. Caller holds mu.
+func (r *Recorder) push(e Event) {
+	if r.evLen < len(r.ev) {
+		r.ev[(r.evHead+r.evLen)%len(r.ev)] = e
+		r.evLen++
+		return
+	}
+	r.ev[r.evHead] = e
+	r.evHead = (r.evHead + 1) % len(r.ev)
+	r.evDropped++
+}
+
+// pushSpan appends to the span ring, overwriting the oldest when full.
+// Caller holds mu.
+func (r *Recorder) pushSpan(s Span) {
+	if r.spLen < len(r.sp) {
+		r.sp[(r.spHead+r.spLen)%len(r.sp)] = s
+		r.spLen++
+		return
+	}
+	r.sp[r.spHead] = s
+	r.spHead = (r.spHead + 1) % len(r.sp)
+	r.spDropped++
+}
+
+func (r *Recorder) allocOpen() *openSpan {
+	if n := len(r.free); n > 0 {
+		o := r.free[n-1]
+		r.free = r.free[:n-1]
+		*o = openSpan{}
+		return o
+	}
+	return &openSpan{}
+}
+
+func (r *Recorder) lookup(job uint64) *openSpan {
+	o := r.open[job]
+	if o == nil {
+		r.unmatched++
+	}
+	return o
+}
+
+// RecordArrival opens a span for the job in the queued state.
+func (r *Recorder) RecordArrival(t float64, class int, job uint64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.push(Event{T: t, Kind: KindArrival, Class: int32(class), Station: -1, Job: job})
+	if old := r.open[job]; old != nil {
+		// Duplicate id (should not happen): recycle the stale record.
+		r.free = append(r.free, old)
+		r.unmatched++
+	}
+	o := r.allocOpen()
+	o.class = int32(class)
+	o.arrival = t
+	o.lastT = t
+	o.state = stateQueued
+	r.open[job] = o
+}
+
+// RecordServiceStart charges elapsed time and switches the span to the
+// service state.
+func (r *Recorder) RecordServiceStart(t float64, class int, job uint64, station int) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.push(Event{T: t, Kind: KindServiceStart, Class: int32(class), Station: int32(station), Job: job})
+	if o := r.lookup(job); o != nil {
+		o.fold(t)
+		o.state = stateService
+	}
+}
+
+// RecordServiceStop charges elapsed service time and returns the span to the
+// queued state (the job is between stations or about to exit).
+func (r *Recorder) RecordServiceStop(t float64, class int, job uint64, station int) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.push(Event{T: t, Kind: KindServiceStop, Class: int32(class), Station: int32(station), Job: job})
+	if o := r.lookup(job); o != nil {
+		o.fold(t)
+		o.state = stateQueued
+	}
+}
+
+// RecordPreempt charges elapsed service time and switches the span to the
+// preempted state (forced off a server with work remaining).
+func (r *Recorder) RecordPreempt(t float64, class int, job uint64, station int) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.push(Event{T: t, Kind: KindPreempt, Class: int32(class), Station: int32(station), Job: job})
+	if o := r.lookup(job); o != nil {
+		o.fold(t)
+		o.state = statePreempted
+	}
+}
+
+// RecordTimeout charges elapsed time to whatever state the job was in when
+// its deadline fired and parks the span in the queued state pending the
+// simulator's retry/abandon decision (recorded at the same timestamp).
+func (r *Recorder) RecordTimeout(t float64, class int, job uint64, station int) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.push(Event{T: t, Kind: KindTimeout, Class: int32(class), Station: int32(station), Job: job})
+	if o := r.lookup(job); o != nil {
+		o.fold(t)
+		o.state = stateQueued
+	}
+}
+
+// RecordBackoff switches the span to the backoff state; attempt is the
+// 1-based retry this backoff precedes.
+func (r *Recorder) RecordBackoff(t float64, class int, job uint64, attempt int) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.push(Event{T: t, Kind: KindBackoff, Class: int32(class), Station: -1, Job: job, Value: float64(attempt)})
+	if o := r.lookup(job); o != nil {
+		o.fold(t)
+		o.state = stateBackoff
+		o.attempts++
+	}
+}
+
+// RecordResume charges elapsed backoff time and returns the span to the
+// queued state as the job re-enters the system.
+func (r *Recorder) RecordResume(t float64, class int, job uint64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.push(Event{T: t, Kind: KindResume, Class: int32(class), Station: -1, Job: job})
+	if o := r.lookup(job); o != nil {
+		o.fold(t)
+		o.state = stateQueued
+	}
+}
+
+// RecordExit closes the span with the given outcome, appends it to the span
+// ring, and folds it into the per-class aggregate.
+func (r *Recorder) RecordExit(t float64, class int, job uint64, outcome Outcome) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.push(Event{T: t, Kind: KindExit, Class: int32(class), Station: -1, Job: job, Value: float64(outcome)})
+	o := r.lookup(job)
+	if o == nil {
+		return
+	}
+	o.fold(t)
+	sp := Span{
+		Job:       job,
+		Class:     o.class,
+		Arrival:   o.arrival,
+		End:       t,
+		Queue:     o.queue,
+		Service:   o.service,
+		Preempted: o.preempted,
+		Backoff:   o.backoff,
+		Attempts:  o.attempts,
+		Outcome:   outcome,
+	}
+	r.pushSpan(sp)
+	for int(o.class) >= len(r.agg) {
+		r.agg = append(r.agg, Breakdown{Class: len(r.agg)})
+	}
+	a := &r.agg[o.class]
+	switch outcome {
+	case OutcomeAbandoned:
+		a.Abandoned++
+	case OutcomeDropped:
+		a.Dropped++
+	default:
+		a.Completed++
+	}
+	a.Queue += sp.Queue
+	a.Service += sp.Service
+	a.Preempted += sp.Preempted
+	a.Backoff += sp.Backoff
+	delete(r.open, job)
+	r.free = append(r.free, o)
+}
+
+// Events returns a copy of the buffered events, oldest first.
+func (r *Recorder) Events() []Event {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.copyEventsLocked()
+}
+
+func (r *Recorder) copyEventsLocked() []Event {
+	out := make([]Event, r.evLen)
+	for i := 0; i < r.evLen; i++ {
+		out[i] = r.ev[(r.evHead+i)%len(r.ev)]
+	}
+	return out
+}
+
+// Drain returns the buffered events, oldest first, and clears the event
+// ring (open spans, closed spans, and aggregates are untouched).
+func (r *Recorder) Drain() []Event {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := r.copyEventsLocked()
+	r.evHead, r.evLen = 0, 0
+	return out
+}
+
+// Spans returns a copy of the buffered closed spans, oldest first.
+func (r *Recorder) Spans() []Span {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Span, r.spLen)
+	for i := 0; i < r.spLen; i++ {
+		out[i] = r.sp[(r.spHead+i)%len(r.sp)]
+	}
+	return out
+}
+
+// Breakdowns returns a copy of the per-class aggregates, indexed by class.
+// Classes that closed no spans have zero counts.
+func (r *Recorder) Breakdowns() []Breakdown {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Breakdown, len(r.agg))
+	copy(out, r.agg)
+	return out
+}
+
+// Breakdown returns the aggregate for one class (zero-valued if the class
+// closed no spans or is out of range).
+func (r *Recorder) Breakdown(class int) Breakdown {
+	if r == nil {
+		return Breakdown{Class: class}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if class < 0 || class >= len(r.agg) {
+		return Breakdown{Class: class}
+	}
+	return r.agg[class]
+}
+
+// EventsDropped returns how many events were overwritten before being read.
+func (r *Recorder) EventsDropped() uint64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.evDropped
+}
+
+// SpansDropped returns how many closed spans were overwritten before being
+// read (aggregates still counted them).
+func (r *Recorder) SpansDropped() uint64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.spDropped
+}
+
+// OpenSpans returns the number of jobs currently in flight.
+func (r *Recorder) OpenSpans() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.open)
+}
+
+// Unmatched returns the number of events that referenced a job with no open
+// span (nonzero indicates an instrumentation bug in the caller).
+func (r *Recorder) Unmatched() uint64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.unmatched
+}
+
+// Reset clears all rings, open spans, aggregates, and drop counters,
+// returning the recorder to its freshly constructed state.
+func (r *Recorder) Reset() {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.evHead, r.evLen, r.evDropped = 0, 0, 0
+	r.spHead, r.spLen, r.spDropped = 0, 0, 0
+	for job, o := range r.open {
+		r.free = append(r.free, o)
+		delete(r.open, job)
+	}
+	r.agg = r.agg[:0]
+	r.unmatched = 0
+}

@@ -1,0 +1,203 @@
+package trace
+
+import (
+	"math"
+	"testing"
+)
+
+// TestSpanStateMachine walks one job through every state and checks the
+// component decomposition is exact.
+func TestSpanStateMachine(t *testing.T) {
+	r := NewRecorder(0)
+	const job = 7
+
+	r.RecordArrival(0, 1, job)                   // queued
+	r.RecordServiceStart(2, 1, job, 0)           // queue += 2
+	r.RecordPreempt(5, 1, job, 0)                // service += 3
+	r.RecordServiceStart(9, 1, job, 0)           // preempted += 4
+	r.RecordTimeout(10, 1, job, 0)               // service += 1
+	r.RecordBackoff(10, 1, job, 1)               // queue += 0
+	r.RecordResume(16, 1, job)                   // backoff += 6
+	r.RecordServiceStart(18, 1, job, 1)          // queue += 2
+	r.RecordServiceStop(20, 1, job, 1)           // service += 2
+	r.RecordExit(20.5, 1, job, OutcomeCompleted) // queue += 0.5
+
+	spans := r.Spans()
+	if len(spans) != 1 {
+		t.Fatalf("got %d spans, want 1", len(spans))
+	}
+	sp := spans[0]
+	check := func(name string, got, want float64) {
+		t.Helper()
+		if got != want {
+			t.Errorf("%s = %g, want %g", name, got, want)
+		}
+	}
+	check("Queue", sp.Queue, 4.5)
+	check("Service", sp.Service, 6)
+	check("Preempted", sp.Preempted, 4)
+	check("Backoff", sp.Backoff, 6)
+	check("Sojourn", sp.Sojourn(), sp.Queue+sp.Service+sp.Preempted+sp.Backoff)
+	check("End-Arrival", sp.End-sp.Arrival, 20.5)
+	if sp.Attempts != 1 {
+		t.Errorf("Attempts = %d, want 1", sp.Attempts)
+	}
+	if sp.Outcome != OutcomeCompleted {
+		t.Errorf("Outcome = %v, want completed", sp.Outcome)
+	}
+	if r.OpenSpans() != 0 {
+		t.Errorf("OpenSpans = %d, want 0", r.OpenSpans())
+	}
+	if r.Unmatched() != 0 {
+		t.Errorf("Unmatched = %d, want 0", r.Unmatched())
+	}
+
+	b := r.Breakdown(1)
+	if b.Completed != 1 || b.Spans() != 1 {
+		t.Errorf("breakdown counts: %+v", b)
+	}
+	check("breakdown sojourn", b.Sojourn(), sp.Sojourn())
+	check("MeanQueue", b.MeanQueue(), 4.5)
+	if !math.IsNaN(r.Breakdown(0).MeanSojourn()) {
+		t.Errorf("empty class mean should be NaN")
+	}
+}
+
+// TestRecorderOutcomes checks abandon and drop bookkeeping.
+func TestRecorderOutcomes(t *testing.T) {
+	r := NewRecorder(0)
+	r.RecordArrival(0, 0, 1)
+	r.RecordExit(0, 0, 1, OutcomeDropped) // admission drop: zero-length span
+	r.RecordArrival(1, 0, 2)
+	r.RecordTimeout(4, 0, 2, 0)
+	r.RecordExit(4, 0, 2, OutcomeAbandoned)
+
+	b := r.Breakdown(0)
+	if b.Dropped != 1 || b.Abandoned != 1 || b.Completed != 0 {
+		t.Fatalf("counts: %+v", b)
+	}
+	spans := r.Spans()
+	if spans[0].Sojourn() != 0 {
+		t.Errorf("dropped span sojourn = %g, want 0", spans[0].Sojourn())
+	}
+	if spans[1].Queue != 3 || spans[1].Sojourn() != 3 {
+		t.Errorf("abandoned span: %+v", spans[1])
+	}
+}
+
+// TestEventRingOverwrite checks drop-oldest semantics and the drop counter.
+func TestEventRingOverwrite(t *testing.T) {
+	r := NewRecorder(1024)
+	n := 1100
+	for i := 0; i < n; i++ {
+		r.RecordArrival(float64(i), 0, uint64(i))
+	}
+	evs := r.Events()
+	if len(evs) != 1024 {
+		t.Fatalf("len(events) = %d, want 1024", len(evs))
+	}
+	if evs[0].Job != uint64(n-1024) || evs[len(evs)-1].Job != uint64(n-1) {
+		t.Errorf("ring window [%d, %d], want [%d, %d]",
+			evs[0].Job, evs[len(evs)-1].Job, n-1024, n-1)
+	}
+	if got := r.EventsDropped(); got != uint64(n-1024) {
+		t.Errorf("EventsDropped = %d, want %d", got, n-1024)
+	}
+	drained := r.Drain()
+	if len(drained) != 1024 {
+		t.Fatalf("drain returned %d events", len(drained))
+	}
+	if len(r.Events()) != 0 {
+		t.Errorf("ring not empty after drain")
+	}
+	if r.OpenSpans() != n {
+		t.Errorf("drain must not touch open spans: %d", r.OpenSpans())
+	}
+}
+
+// TestSpanRingOverwriteKeepsAggregates checks that the per-class aggregate
+// counts every closed span even after the span ring wraps.
+func TestSpanRingOverwriteKeepsAggregates(t *testing.T) {
+	r := NewRecorder(1024) // span ring also 1024 (min)
+	n := 1500
+	for i := 0; i < n; i++ {
+		r.RecordArrival(float64(i), 0, uint64(i))
+		r.RecordExit(float64(i)+0.5, 0, uint64(i), OutcomeCompleted)
+	}
+	if got := r.Breakdown(0).Completed; got != int64(n) {
+		t.Errorf("aggregate completed = %d, want %d", got, n)
+	}
+	if len(r.Spans()) != 1024 {
+		t.Errorf("span ring holds %d, want 1024", len(r.Spans()))
+	}
+	if got := r.SpansDropped(); got != uint64(n-1024) {
+		t.Errorf("SpansDropped = %d, want %d", got, n-1024)
+	}
+}
+
+// TestRecorderNilSafe calls every exported method on a nil recorder.
+func TestRecorderNilSafe(t *testing.T) {
+	var r *Recorder
+	r.RecordArrival(0, 0, 1)
+	r.RecordServiceStart(0, 0, 1, 0)
+	r.RecordServiceStop(0, 0, 1, 0)
+	r.RecordPreempt(0, 0, 1, 0)
+	r.RecordTimeout(0, 0, 1, 0)
+	r.RecordBackoff(0, 0, 1, 1)
+	r.RecordResume(0, 0, 1)
+	r.RecordExit(0, 0, 1, OutcomeCompleted)
+	if r.Events() != nil || r.Drain() != nil || r.Spans() != nil || r.Breakdowns() != nil {
+		t.Error("nil recorder returned non-nil data")
+	}
+	if r.EventsDropped() != 0 || r.SpansDropped() != 0 || r.OpenSpans() != 0 || r.Unmatched() != 0 {
+		t.Error("nil recorder returned nonzero counters")
+	}
+	if b := r.Breakdown(3); b.Class != 3 || b.Spans() != 0 {
+		t.Errorf("nil Breakdown(3) = %+v", b)
+	}
+	r.Reset()
+}
+
+// TestRecorderReset returns the recorder to a fresh state.
+func TestRecorderReset(t *testing.T) {
+	r := NewRecorder(0)
+	r.RecordArrival(0, 0, 1)
+	r.RecordArrival(0, 1, 2)
+	r.RecordExit(1, 1, 2, OutcomeCompleted)
+	r.Reset()
+	if len(r.Events()) != 0 || len(r.Spans()) != 0 || len(r.Breakdowns()) != 0 || r.OpenSpans() != 0 {
+		t.Error("Reset left state behind")
+	}
+	// Recycled open-span records must come back zeroed.
+	r.RecordArrival(5, 0, 3)
+	r.RecordExit(7, 0, 3, OutcomeCompleted)
+	sp := r.Spans()[0]
+	if sp.Queue != 2 || sp.Service != 0 || sp.Attempts != 0 {
+		t.Errorf("recycled span leaked state: %+v", sp)
+	}
+}
+
+// TestUnmatchedEvents counts events for unknown jobs without panicking.
+func TestUnmatchedEvents(t *testing.T) {
+	r := NewRecorder(0)
+	r.RecordServiceStart(1, 0, 99, 0)
+	r.RecordExit(2, 0, 99, OutcomeCompleted)
+	if got := r.Unmatched(); got != 2 {
+		t.Errorf("Unmatched = %d, want 2", got)
+	}
+	if len(r.Spans()) != 0 {
+		t.Errorf("unknown job must not close a span")
+	}
+}
+
+func TestKindAndOutcomeStrings(t *testing.T) {
+	if KindArrival.String() != "arrival" || KindExit.String() != "exit" {
+		t.Error("kind names drifted")
+	}
+	if OutcomeAbandoned.String() != "abandoned" {
+		t.Error("outcome names drifted")
+	}
+	if Kind(200).String() == "" || Outcome(200).String() == "" {
+		t.Error("out-of-range names empty")
+	}
+}

@@ -1,0 +1,376 @@
+// Package window provides streaming sliding-window estimators over the
+// simulator's event stream: per-class arrival rate, mean sojourn time, a
+// P²-estimated tail quantile, and per-tier utilization. It is the sensor API
+// the online (MPC-style) controller of ROADMAP item 1 will read mid-run, and
+// it publishes its readings as gauges on an obs.Registry for live HTTP
+// exposition.
+//
+// Estimators are bucketed rings: the window of width W is split into B
+// sub-buckets, each accumulating counts/sums for one W/B slice of simulated
+// time; advancing past a bucket boundary expires the oldest bucket. Reads
+// therefore have bucket-granularity: a "window" is the last B live buckets,
+// between W−W/B and W of history. The tail estimator cannot expire
+// individual samples from a P² sketch, so it rotates a current/previous pair
+// of sketches every W and reads whichever is better warmed — tail readings
+// cover between W and 2W of history.
+//
+// A nil *Set is a no-op on every method (the observability layer's
+// nil-is-a-no-op contract). Writers (Observe*/Publish) must come from a
+// single goroutine — the simulator's replication 0 — but bound registry
+// gauges are atomic, so concurrent HTTP readers are safe.
+package window
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"clusterq/internal/obs"
+	"clusterq/internal/stats"
+)
+
+// Config parameterizes a window Set.
+type Config struct {
+	// Width is the sliding-window width in simulated seconds (required > 0).
+	Width float64
+	// Buckets is the number of sub-buckets per window (default 16).
+	Buckets int
+	// Quantile is the tail quantile estimated per class (default 0.99).
+	Quantile float64
+}
+
+func (c Config) withDefaults() (Config, error) {
+	if !(c.Width > 0) {
+		return c, fmt.Errorf("window: width %g must be positive", c.Width)
+	}
+	if c.Buckets == 0 {
+		c.Buckets = 16
+	}
+	if c.Buckets < 0 {
+		return c, fmt.Errorf("window: buckets %d must be positive", c.Buckets)
+	}
+	if c.Quantile == 0 {
+		c.Quantile = 0.99
+	}
+	if !(c.Quantile > 0 && c.Quantile < 1) {
+		return c, fmt.Errorf("window: quantile %g must be in (0,1)", c.Quantile)
+	}
+	return c, nil
+}
+
+// bucket accumulates one sub-slice of the window: an event count and a
+// value sum/count (meaning depends on the series).
+type bucket struct {
+	events int64
+	vsum   float64
+	vn     int64
+}
+
+// series is one bucketed ring. cur is the absolute index (t/slot) of the
+// bucket currently being written; advancing clears expired buckets.
+type series struct {
+	slot float64
+	cur  int64
+	b    []bucket
+}
+
+func newSeries(width float64, buckets int) *series {
+	return &series{slot: width / float64(buckets), b: make([]bucket, buckets)}
+}
+
+func (s *series) advance(t float64) {
+	idx := int64(t / s.slot)
+	if idx <= s.cur {
+		return
+	}
+	if idx-s.cur >= int64(len(s.b)) {
+		for i := range s.b {
+			s.b[i] = bucket{}
+		}
+	} else {
+		for i := s.cur + 1; i <= idx; i++ {
+			s.b[i%int64(len(s.b))] = bucket{}
+		}
+	}
+	s.cur = idx
+}
+
+func (s *series) addEvent(t float64) {
+	s.advance(t)
+	s.b[s.cur%int64(len(s.b))].events++
+}
+
+func (s *series) addValue(t, v float64) {
+	s.advance(t)
+	bk := &s.b[s.cur%int64(len(s.b))]
+	bk.vsum += v
+	bk.vn++
+}
+
+// sum totals the live buckets after expiring anything older than t.
+func (s *series) sum(t float64) bucket {
+	s.advance(t)
+	var tot bucket
+	for _, bk := range s.b {
+		tot.events += bk.events
+		tot.vsum += bk.vsum
+		tot.vn += bk.vn
+	}
+	return tot
+}
+
+// covered is the stretch of history the live buckets span at time t: the
+// full ring once t exceeds it, everything so far before that.
+func (s *series) covered(t float64) float64 {
+	w := float64(len(s.b)) * s.slot
+	if t < w {
+		return t
+	}
+	return w
+}
+
+// tailMinSamples is the sketch warm-up threshold: below it the current
+// epoch's sketch is considered too cold and the previous epoch is preferred.
+const tailMinSamples = 8
+
+// tail estimates a quantile over roughly the last window by rotating P²
+// sketches every window width.
+type tail struct {
+	p     float64
+	width float64
+	epoch int64
+	cur   *stats.P2Quantile
+	prev  *stats.P2Quantile
+}
+
+func newTail(p, width float64) *tail {
+	return &tail{p: p, width: width, cur: stats.NewP2Quantile(p)}
+}
+
+func (q *tail) roll(t float64) {
+	e := int64(t / q.width)
+	if e <= q.epoch {
+		return
+	}
+	if e == q.epoch+1 {
+		q.prev = q.cur
+	} else {
+		q.prev = nil // a whole epoch passed with no samples
+	}
+	q.cur = stats.NewP2Quantile(q.p)
+	q.epoch = e
+}
+
+func (q *tail) add(t, v float64) {
+	q.roll(t)
+	q.cur.Add(v)
+}
+
+func (q *tail) value(t float64) float64 {
+	q.roll(t)
+	if q.cur.Count() >= tailMinSamples {
+		return q.cur.Value()
+	}
+	if q.prev != nil && q.prev.Count() > 0 {
+		return q.prev.Value()
+	}
+	if q.cur.Count() > 0 {
+		return q.cur.Value()
+	}
+	return math.NaN()
+}
+
+// ClassSensor is one class's windowed readings at a point in time.
+type ClassSensor struct {
+	// Rate is the estimated arrival rate λ̂ (arrivals per second over the
+	// covered window).
+	Rate float64
+	// MeanSojourn is the mean sojourn of spans that closed in the window
+	// (NaN if none closed).
+	MeanSojourn float64
+	// TailSojourn is the P²-estimated Quantile of sojourns (NaN until
+	// samples arrive).
+	TailSojourn float64
+	// Sojourns is the number of closed-span observations in the window.
+	Sojourns int64
+}
+
+// Set is a bank of window estimators for a fixed number of classes and
+// tiers. Construct with NewSet; a nil *Set is a no-op on every method.
+type Set struct {
+	cfg   Config
+	cls   []*series // per class: events = arrivals, values = sojourns
+	tiers []*series // per tier: values = utilization samples
+	tails []*tail
+
+	reg   *obs.Registry
+	rateG []*obs.Gauge
+	meanG []*obs.Gauge
+	tailG []*obs.Gauge
+	utilG []*obs.Gauge
+}
+
+// NewSet builds a window Set for the given class and tier counts.
+func NewSet(cfg Config, classes, tiers int) (*Set, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	if classes < 0 || tiers < 0 {
+		return nil, fmt.Errorf("window: negative dimensions (%d classes, %d tiers)", classes, tiers)
+	}
+	s := &Set{cfg: cfg}
+	for k := 0; k < classes; k++ {
+		s.cls = append(s.cls, newSeries(cfg.Width, cfg.Buckets))
+		s.tails = append(s.tails, newTail(cfg.Quantile, cfg.Width))
+	}
+	for j := 0; j < tiers; j++ {
+		s.tiers = append(s.tiers, newSeries(cfg.Width, cfg.Buckets))
+	}
+	return s, nil
+}
+
+// Config returns the (defaulted) configuration.
+func (s *Set) Config() Config {
+	if s == nil {
+		return Config{}
+	}
+	return s.cfg
+}
+
+// Classes returns the number of class sensors.
+func (s *Set) Classes() int {
+	if s == nil {
+		return 0
+	}
+	return len(s.cls)
+}
+
+// Tiers returns the number of tier sensors.
+func (s *Set) Tiers() int {
+	if s == nil {
+		return 0
+	}
+	return len(s.tiers)
+}
+
+// ObserveArrival records one class-k arrival at time t.
+func (s *Set) ObserveArrival(t float64, class int) {
+	if s == nil || class < 0 || class >= len(s.cls) {
+		return
+	}
+	s.cls[class].addEvent(t)
+}
+
+// ObserveSojourn records a closed span's sojourn d for class k at time t.
+func (s *Set) ObserveSojourn(t float64, class int, d float64) {
+	if s == nil || class < 0 || class >= len(s.cls) {
+		return
+	}
+	s.cls[class].addValue(t, d)
+	s.tails[class].add(t, d)
+}
+
+// ObserveUtilization records a sampled utilization for tier j at time t.
+func (s *Set) ObserveUtilization(t float64, tier int, util float64) {
+	if s == nil || tier < 0 || tier >= len(s.tiers) {
+		return
+	}
+	s.tiers[tier].addValue(t, util)
+}
+
+// Class reads class k's sensors as of time t.
+func (s *Set) Class(t float64, class int) ClassSensor {
+	if s == nil || class < 0 || class >= len(s.cls) {
+		return ClassSensor{Rate: math.NaN(), MeanSojourn: math.NaN(), TailSojourn: math.NaN()}
+	}
+	sr := s.cls[class]
+	tot := sr.sum(t)
+	out := ClassSensor{
+		Rate:        math.NaN(),
+		MeanSojourn: math.NaN(),
+		TailSojourn: s.tails[class].value(t),
+		Sojourns:    tot.vn,
+	}
+	if cov := sr.covered(t); cov > 0 {
+		out.Rate = float64(tot.events) / cov
+	}
+	if tot.vn > 0 {
+		out.MeanSojourn = tot.vsum / float64(tot.vn)
+	}
+	return out
+}
+
+// Utilization reads tier j's mean sampled utilization over the window as of
+// time t (NaN if no samples are live).
+func (s *Set) Utilization(t float64, tier int) float64 {
+	if s == nil || tier < 0 || tier >= len(s.tiers) {
+		return math.NaN()
+	}
+	tot := s.tiers[tier].sum(t)
+	if tot.vn == 0 {
+		return math.NaN()
+	}
+	return tot.vsum / float64(tot.vn)
+}
+
+// quantileLabel renders 0.99 as "p99", 0.999 as "p99_9" (gauge-name safe).
+func quantileLabel(q float64) string {
+	return "p" + strings.ReplaceAll(fmt.Sprintf("%g", q*100), ".", "_")
+}
+
+// QuantileLabel is the metric-name-safe label of the configured tail
+// quantile ("p99" for 0.99), as used in the bound gauge names.
+func (c Config) QuantileLabel() string {
+	return quantileLabel(c.Quantile)
+}
+
+// Bind registers this Set's gauges on reg; Publish refreshes them. Gauge
+// names: window_class<k>_arrival_rate, window_class<k>_mean_sojourn_seconds,
+// window_class<k>_<p99>_sojourn_seconds, window_tier<j>_utilization, plus
+// window_width_seconds.
+func (s *Set) Bind(reg *obs.Registry) {
+	if s == nil || reg == nil {
+		return
+	}
+	s.reg = reg
+	s.rateG = s.rateG[:0]
+	s.meanG = s.meanG[:0]
+	s.tailG = s.tailG[:0]
+	s.utilG = s.utilG[:0]
+	pl := quantileLabel(s.cfg.Quantile)
+	for k := range s.cls {
+		s.rateG = append(s.rateG, reg.Gauge(
+			fmt.Sprintf("window_class%d_arrival_rate", k),
+			fmt.Sprintf("class %d arrivals per second over the sliding window", k)))
+		s.meanG = append(s.meanG, reg.Gauge(
+			fmt.Sprintf("window_class%d_mean_sojourn_seconds", k),
+			fmt.Sprintf("class %d mean sojourn over the sliding window", k)))
+		s.tailG = append(s.tailG, reg.Gauge(
+			fmt.Sprintf("window_class%d_%s_sojourn_seconds", k, pl),
+			fmt.Sprintf("class %d %s sojourn (P² estimate) over the sliding window", k, pl)))
+	}
+	for j := range s.tiers {
+		s.utilG = append(s.utilG, reg.Gauge(
+			fmt.Sprintf("window_tier%d_utilization", j),
+			fmt.Sprintf("tier %d mean sampled utilization over the sliding window", j)))
+	}
+	reg.Gauge("window_width_seconds", "sliding-window width").Set(s.cfg.Width)
+}
+
+// Publish refreshes every bound gauge with readings as of time t. A no-op
+// until Bind is called.
+func (s *Set) Publish(t float64) {
+	if s == nil || s.reg == nil {
+		return
+	}
+	for k := range s.cls {
+		cs := s.Class(t, k)
+		s.rateG[k].Set(cs.Rate)
+		s.meanG[k].Set(cs.MeanSojourn)
+		s.tailG[k].Set(cs.TailSojourn)
+	}
+	for j := range s.tiers {
+		s.utilG[j].Set(s.Utilization(t, j))
+	}
+}

@@ -12,6 +12,8 @@ package sim
 import (
 	"fmt"
 	"math"
+
+	"clusterq/internal/obs/trace"
 )
 
 // FailureConfig parameterizes one tier's server breakdown/repair process.
@@ -190,6 +192,11 @@ func (s *simulator) handleBreakdown(e *event) {
 	// are busy; the remainder are idle and fail without interrupting work.
 	if v := int(rng.Float64() * float64(up)); v < len(st.running) {
 		run := st.running[v]
+		// The victim's interruption is a preemption from the job's point of
+		// view: work stops with work remaining.
+		if s.rec != nil {
+			s.rec.RecordPreempt(now, run.job.class, run.job.id, st.idx)
+		}
 		run.cancelled = true
 		st.bankSegment(run, now)
 		if run.job.remaining < 1e-12 {
@@ -245,6 +252,9 @@ func (s *simulator) handleTimeout(e *event) {
 	}
 	s.tr.event(now, TraceTimeout, j.class, j.id, st.idx, now-j.arrival)
 	s.count(pkTimeout)
+	if s.rec != nil {
+		s.rec.RecordTimeout(now, j.class, j.id, st.idx)
+	}
 	post := j.arrival >= s.warmup
 	if post {
 		s.timeouts[j.class]++
@@ -254,6 +264,9 @@ func (s *simulator) handleTimeout(e *event) {
 		j.attempts++
 		s.tr.event(now, TraceRetry, j.class, j.id, -1, float64(j.attempts))
 		s.count(pkRetry)
+		if s.rec != nil {
+			s.rec.RecordBackoff(now, j.class, j.id, j.attempts)
+		}
 		if post {
 			s.retries[j.class]++
 		}
@@ -266,6 +279,9 @@ func (s *simulator) handleTimeout(e *event) {
 	} else {
 		s.tr.event(now, TraceAbandon, j.class, j.id, -1, now-j.arrival)
 		s.count(pkAbandon)
+		if s.rec != nil {
+			s.rec.RecordExit(now, j.class, j.id, trace.OutcomeAbandoned)
+		}
 		if post {
 			s.abandoned[j.class]++
 		}
@@ -292,12 +308,18 @@ func (s *simulator) handleRetry(e *event) {
 	}
 	now := s.cal.now
 	j.routePos = 0
+	if s.rec != nil {
+		s.rec.RecordResume(now, j.class, j.id)
+	}
 	s.armDeadline(j, now)
 	if r := s.routings[j.class]; r != nil {
 		entry := s.sampleIndex(j.class, r.Entry)
 		if entry < 0 {
 			if s.inflight != nil {
 				s.inflight[j.class]--
+			}
+			if s.rec != nil {
+				s.rec.RecordExit(now, j.class, j.id, trace.OutcomeDropped)
 			}
 			s.freeJob(j)
 			return

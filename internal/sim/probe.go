@@ -132,6 +132,14 @@ func (s *simulator) handleSample() {
 		row[i] = totalPower
 		s.tl.Sample(now, row)
 	}
+	// The window sensors ride the same tick: utilization samples per tier,
+	// then a gauge refresh so live HTTP readers see current readings.
+	if s.win != nil {
+		for j, st := range s.stations {
+			s.win.ObserveUtilization(now, j, float64(len(st.running))/float64(st.servers))
+		}
+		s.win.Publish(now)
+	}
 	s.cal.schedule(now+s.probe.Period, evSample, 0, nil, 0, nil)
 }
 

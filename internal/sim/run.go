@@ -10,6 +10,8 @@ import (
 
 	"clusterq/internal/cluster"
 	"clusterq/internal/obs"
+	"clusterq/internal/obs/trace"
+	"clusterq/internal/obs/window"
 	"clusterq/internal/queueing"
 	"clusterq/internal/stats"
 )
@@ -56,6 +58,23 @@ type Options struct {
 	// interleaved traces from parallel replications would be meaningless.
 	// Wrap the writer in bufio for long runs; traces are large.
 	Trace io.Writer
+	// Recorder, when non-nil, attaches the flight recorder: every job
+	// lifecycle event (arrival, service start/stop, preemption, timeout,
+	// backoff, resume, exit) is pushed into the recorder's ring buffer and
+	// assembled into per-job spans with an exact queue/service/preempted/
+	// backoff sojourn decomposition. Like Trace, the recorder requires
+	// Replications == 1: job ids repeat across replications and interleaved
+	// spans would be meaningless. A nil recorder costs one predictable
+	// branch per event.
+	Recorder *trace.Recorder
+	// Windows, when non-nil, attaches streaming sliding-window estimators
+	// (per-class arrival rate, mean and tail sojourn, per-tier utilization)
+	// fed by replication 0 — the sensor layer an online controller reads
+	// mid-run. The Set's class/tier dimensions must match the cluster.
+	// Utilization sensing and gauge publication ride the probe's sampling
+	// tick, so attach a Probe to keep them fresh; arrival and sojourn
+	// observations flow regardless.
+	Windows *window.Set
 	// Probe optionally attaches the observability layer: periodic sampling
 	// of per-tier queue length, busy servers, utilization and power plus
 	// per-class in-flight counts (surfaced in Result.Timeline, recorded on
@@ -128,6 +147,9 @@ func (o *Options) defaults() error {
 	}
 	if o.Trace != nil && o.Replications != 1 {
 		return fmt.Errorf("sim: tracing requires exactly 1 replication, got %d", o.Replications)
+	}
+	if o.Recorder != nil && o.Replications != 1 {
+		return fmt.Errorf("sim: the flight recorder requires exactly 1 replication, got %d", o.Replications)
 	}
 	if err := o.Probe.validate(); err != nil {
 		return err
@@ -274,6 +296,10 @@ func Run(c *cluster.Cluster, o Options) (*Result, error) {
 	if err := o.validateShedding(k); err != nil {
 		return nil, err
 	}
+	if o.Windows != nil && (o.Windows.Classes() != k || o.Windows.Tiers() != jn) {
+		return nil, fmt.Errorf("sim: window set sized for %d classes / %d tiers, cluster has %d / %d",
+			o.Windows.Classes(), o.Windows.Tiers(), k, jn)
+	}
 	// Replications are independent (own RNG streams, own event calendar)
 	// and read the cluster immutably, so they run in parallel, bounded by
 	// the CPU count. Each replication's seed fixes its result, so the
@@ -297,7 +323,9 @@ func Run(c *cluster.Cluster, o Options) (*Result, error) {
 			s.run()
 			// A trace that stopped writing mid-run is truncated data, not
 			// a result: surface the first write error instead of
-			// pretending the replication succeeded.
+			// pretending the replication succeeded. flush pushes the
+			// buffered tail out first so the error check sees everything.
+			s.tr.flush()
 			if err := s.tr.Err(); err != nil {
 				errs[r] = fmt.Errorf("sim: trace write failed: %w", err)
 				return

@@ -5,6 +5,8 @@ import (
 
 	"clusterq/internal/cluster"
 	"clusterq/internal/obs"
+	"clusterq/internal/obs/trace"
+	"clusterq/internal/obs/window"
 	"clusterq/internal/queueing"
 	"clusterq/internal/stats"
 )
@@ -54,6 +56,13 @@ type simulator struct {
 
 	tr *traceWriter // nil unless Options.Trace is set
 
+	// Flight recorder and window sensors (nil unless the corresponding
+	// option is set; windows only on the recording replication). Hot-path
+	// call sites carry their own nil guards — like the probe's — so the
+	// disabled cost is one predictable branch per event, not a call.
+	rec *trace.Recorder
+	win *window.Set
+
 	// Observability (nil/zero unless Options.Probe is set): the probe
 	// config, the recording replication's timeline, per-class in-flight
 	// counts, and per-event-type counters.
@@ -95,6 +104,13 @@ func newSimulator(c *cluster.Cluster, o Options, seed uint64, record bool) (*sim
 	}
 	if o.Trace != nil {
 		s.tr = newTraceWriter(o.Trace)
+	}
+	// The recorder requires a single replication (validated in Run), and
+	// the windows feed from the recording replication only, mirroring the
+	// timeline: one coherent sensor stream, not an interleaving.
+	if record {
+		s.rec = o.Recorder
+		s.win = o.Windows
 	}
 	if s.probe != nil && record {
 		s.tl = obs.NewTimeline(timelineSeriesNames(len(c.Tiers), len(c.Classes))...)
@@ -314,6 +330,12 @@ func (s *simulator) handleArrival(e *event) {
 	j.id, j.class, j.arrival = s.jobSeq, k, now
 	s.tr.event(now, TraceArrival, k, j.id, -1, 0)
 	s.count(pkArrival)
+	if s.rec != nil {
+		s.rec.RecordArrival(now, k, j.id)
+	}
+	if s.win != nil {
+		s.win.ObserveArrival(now, k)
+	}
 	s.armDeadline(j, now)
 	if s.inflight != nil {
 		s.inflight[k]++
@@ -324,6 +346,9 @@ func (s *simulator) handleArrival(e *event) {
 			// Numerically empty entry distribution: the job never enters.
 			if s.inflight != nil {
 				s.inflight[k]--
+			}
+			if s.rec != nil {
+				s.rec.RecordExit(now, k, j.id, trace.OutcomeDropped)
 			}
 			s.freeJob(j)
 			return
@@ -484,6 +509,9 @@ func (s *simulator) arriveAtStation(st *simStation, j *job, now float64) {
 func (s *simulator) preempt(st *simStation, run *serviceRun, now float64) {
 	s.tr.event(now, TracePreempt, run.job.class, run.job.id, st.idx, 0)
 	s.count(pkPreempt)
+	if s.rec != nil {
+		s.rec.RecordPreempt(now, run.job.class, run.job.id, st.idx)
+	}
 	run.cancelled = true
 	st.bankSegment(run, now)
 	if run.job.remaining < 1e-12 {
@@ -497,6 +525,9 @@ func (s *simulator) preempt(st *simStation, run *serviceRun, now float64) {
 func (s *simulator) startService(st *simStation, j *job, now float64) {
 	s.tr.event(now, TraceStart, j.class, j.id, st.idx, 0)
 	s.count(pkStart)
+	if s.rec != nil {
+		s.rec.RecordServiceStart(now, j.class, j.id, st.idx)
+	}
 	run := s.allocRun()
 	run.job, run.start = j, now
 	st.running = append(st.running, run)
@@ -536,6 +567,9 @@ func (s *simulator) handleDeparture(e *event) {
 	}
 	s.tr.event(now, TraceVisitEnd, j.class, j.id, st.idx, 0)
 	s.count(pkVisitEnd)
+	if s.rec != nil {
+		s.rec.RecordServiceStop(now, j.class, j.id, st.idx)
+	}
 
 	// Hand the freed server to the queue BEFORE routing the departing job
 	// onward: a job feeding back to the same station must rejoin behind
@@ -565,6 +599,12 @@ func (s *simulator) handleDeparture(e *event) {
 	if done {
 		s.tr.event(now, TraceExit, j.class, j.id, -1, now-j.arrival)
 		s.count(pkExit)
+		if s.rec != nil {
+			s.rec.RecordExit(now, j.class, j.id, trace.OutcomeCompleted)
+		}
+		if s.win != nil {
+			s.win.ObserveSojourn(now, j.class, now-j.arrival)
+		}
 		if s.inflight != nil {
 			s.inflight[j.class]--
 		}

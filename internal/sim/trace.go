@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"bufio"
 	"fmt"
 	"io"
 )
@@ -8,15 +9,24 @@ import (
 // TraceHeader is the CSV header line of the event trace.
 const TraceHeader = "time,event,class,job,station,value"
 
-// traceWriter serializes simulator events as CSV rows. A nil traceWriter is
-// a no-op, keeping the hot path branch-cheap when tracing is off.
+// traceBufSize is the traceWriter's internal buffer: large enough that a
+// busy trace issues one underlying write per ~64 KiB of rows instead of one
+// per row, small enough to be irrelevant next to the simulator state.
+const traceBufSize = 64 << 10
+
+// traceWriter serializes simulator events as CSV rows through an internal
+// bufio.Writer (one coalesced write per buffer fill instead of one syscall
+// per event). The run loop calls flush after the replication finishes;
+// callers hand Options.Trace a plain writer and must not see rows before
+// Run returns. A nil traceWriter is a no-op, keeping the hot path
+// branch-cheap when tracing is off.
 type traceWriter struct {
-	w   io.Writer
+	bw  *bufio.Writer
 	err error
 }
 
 func newTraceWriter(w io.Writer) *traceWriter {
-	t := &traceWriter{w: w}
+	t := &traceWriter{bw: bufio.NewWriterSize(w, traceBufSize)}
 	t.line("%s\n", TraceHeader)
 	return t
 }
@@ -25,12 +35,22 @@ func (t *traceWriter) line(format string, args ...any) {
 	if t == nil || t.err != nil {
 		return
 	}
-	_, t.err = fmt.Fprintf(t.w, format, args...)
+	_, t.err = fmt.Fprintf(t.bw, format, args...)
 }
 
-// Err returns the first write error the trace hit, or nil. Once a write
-// fails the writer goes silent, so the trace is truncated at that point; the
-// run loop surfaces this error from sim.Run instead of dropping it.
+// flush pushes the buffered tail to the underlying writer, folding any
+// flush failure into the error the next Err call reports.
+func (t *traceWriter) flush() {
+	if t == nil || t.err != nil {
+		return
+	}
+	t.err = t.bw.Flush()
+}
+
+// Err returns the first write (or flush) error the trace hit, or nil. Once
+// a write fails the writer goes silent, so the trace is truncated at that
+// point; the run loop flushes and surfaces this error from sim.Run instead
+// of dropping it.
 func (t *traceWriter) Err() error {
 	if t == nil {
 		return nil

@@ -1,8 +1,13 @@
 package clusterq
 
 import (
+	"encoding/json"
 	"fmt"
+	"io"
 	"math"
+	"net/http"
+	"net/http/httptest"
+	"strings"
 	"testing"
 )
 
@@ -50,5 +55,102 @@ func TestProbeUtilizationMatchesModel(t *testing.T) {
 	}
 	if res.EventCounts["arrival"] == 0 {
 		t.Errorf("event counters empty: %v", res.EventCounts)
+	}
+}
+
+// TestFlightRecorderFullStack is the end-to-end acceptance check for the
+// flight-recorder layer through the public facade: one simulation with the
+// recorder, the window sensors and the probe registry attached, served live
+// over HTTP — every endpoint group the CLIs' -http flag mounts must answer
+// with consistent data.
+func TestFlightRecorderFullStack(t *testing.T) {
+	c := Enterprise3Tier(1.0)
+
+	reg := NewMetricRegistry()
+	rec := NewFlightRecorder(1 << 17)
+	win, err := NewWindowSet(WindowConfig{Width: 1000}, len(c.Classes), len(c.Tiers))
+	if err != nil {
+		t.Fatal(err)
+	}
+	win.Bind(reg)
+	res, err := Simulate(c, SimOptions{
+		Horizon:      5000,
+		Replications: 1, // the recorder contract
+		Seed:         17,
+		Probe:        &SimProbe{Period: 5, Registry: reg},
+		Recorder:     rec,
+		Windows:      win,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The recorder's per-class completion counts must agree with the
+	// simulator's own Result, and every span must balance.
+	var completed int64
+	for k := range c.Classes {
+		b := rec.Breakdown(k)
+		completed += b.Completed
+		//lint:floateq the decomposition is exact by construction
+		if b.Sojourn() != b.Queue+b.Service+b.Preempted+b.Backoff {
+			t.Errorf("class %d breakdown components do not sum to sojourn", k)
+		}
+	}
+	if got := res.EventCounts["exit"]; completed != got {
+		t.Errorf("recorder completed %d vs simulator exits %d", completed, got)
+	}
+
+	srv := httptest.NewServer(ServeMetrics(reg, rec))
+	defer srv.Close()
+	get := func(path string) string {
+		t.Helper()
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer func() { _ = resp.Body.Close() }()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatalf("GET %s: read: %v", path, err)
+		}
+		return string(body)
+	}
+
+	// /metrics: Prometheus text with the probe counters and window gauges.
+	prom := get("/metrics")
+	for _, want := range []string{"sim_events_arrival_total", "window_class0_arrival_rate", "window_tier0_utilization"} {
+		if !strings.Contains(prom, want) {
+			t.Errorf("/metrics missing %s", want)
+		}
+	}
+
+	// /metrics.json: well-formed JSON carrying the same registry.
+	var doc struct {
+		Metrics []MetricSnapshot `json:"metrics"`
+	}
+	if err := json.Unmarshal([]byte(get("/metrics.json")), &doc); err != nil {
+		t.Fatalf("/metrics.json: %v", err)
+	}
+	if len(doc.Metrics) == 0 {
+		t.Error("/metrics.json has no metrics")
+	}
+
+	// /trace: Chrome trace-event JSON with the recorder's events.
+	var chrome struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal([]byte(get("/trace")), &chrome); err != nil {
+		t.Fatalf("/trace: %v", err)
+	}
+	if len(chrome.TraceEvents) == 0 {
+		t.Error("/trace has no events despite a recorded run")
+	}
+
+	// /debug/pprof: the runtime profile index answers.
+	if body := get("/debug/pprof/"); !strings.Contains(body, "goroutine") {
+		t.Error("/debug/pprof/ index does not look like pprof")
 	}
 }
