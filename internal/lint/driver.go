@@ -1,6 +1,7 @@
 package lint
 
 import (
+	"flag"
 	"fmt"
 	"io"
 	"os"
@@ -8,6 +9,7 @@ import (
 	"regexp"
 	"sort"
 	"strings"
+	"time"
 )
 
 // FindModule walks up from dir to the enclosing go.mod and returns the
@@ -95,16 +97,58 @@ func hasGoFiles(dir string) bool {
 	return false
 }
 
-// RunDirs loads each package directory and applies every in-scope analyzer,
-// writing diagnostics to w in file:line:col order. It returns the number of
-// diagnostics; a load or analysis failure aborts with an error.
-func RunDirs(w io.Writer, root, module string, dirs []string, analyzers []*Analyzer) (int, error) {
+// dependencyOrder sorts loaded packages so every package follows its
+// imports (restricted to the analyzed set): the order that makes the shared
+// fact store sound — by the time a pass runs, the facts of everything it
+// imports are in the store. Ties break on import path, keeping the order
+// deterministic.
+func dependencyOrder(pkgs []*Package) []*Package {
+	byPath := make(map[string]*Package, len(pkgs))
+	for _, p := range pkgs {
+		byPath[p.Path] = p
+	}
+	var out []*Package
+	state := map[string]int{} // 0 unvisited, 1 visiting, 2 done
+	var visit func(p *Package)
+	visit = func(p *Package) {
+		switch state[p.Path] {
+		case 1, 2:
+			return // cycles cannot happen in valid Go; guard anyway
+		}
+		state[p.Path] = 1
+		imports := p.Types.Imports()
+		paths := make([]string, 0, len(imports))
+		for _, imp := range imports {
+			paths = append(paths, imp.Path())
+		}
+		sort.Strings(paths)
+		for _, path := range paths {
+			if dep, ok := byPath[path]; ok {
+				visit(dep)
+			}
+		}
+		state[p.Path] = 2
+		out = append(out, p)
+	}
+	sorted := make([]*Package, len(pkgs))
+	copy(sorted, pkgs)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Path < sorted[j].Path })
+	for _, p := range sorted {
+		visit(p)
+	}
+	return out
+}
+
+// Collect loads every package directory, analyzes them in dependency order
+// with a shared fact store, runs waiver hygiene checks, and returns all
+// diagnostics sorted by position. now anchors waiver expiry.
+func Collect(root, module string, dirs []string, analyzers []*Analyzer, now time.Time) ([]Diagnostic, error) {
 	loader := NewLoader(module, root, true)
-	total := 0
+	pkgs := make([]*Package, 0, len(dirs))
 	for _, dir := range dirs {
 		rel, err := filepath.Rel(root, dir)
 		if err != nil {
-			return total, err
+			return nil, err
 		}
 		pkgPath := module
 		if rel != "." {
@@ -112,49 +156,83 @@ func RunDirs(w io.Writer, root, module string, dirs []string, analyzers []*Analy
 		}
 		pkg, err := loader.Load(pkgPath, dir)
 		if err != nil {
-			return total, err
+			return nil, err
 		}
-		var diags []Diagnostic
+		pkgs = append(pkgs, pkg)
+	}
+	known := map[string]bool{}
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+	facts := NewFactStore()
+	var diags []Diagnostic
+	for _, pkg := range dependencyOrder(pkgs) {
+		diags = append(diags, CheckWaivers(pkg, now, known)...)
 		for _, a := range analyzers {
-			if !a.AppliesTo(pkgPath) {
+			if !a.AppliesTo(pkg.Path) {
 				continue
 			}
-			ds, err := Run(a, pkg)
+			ds, err := RunAt(a, pkg, now, facts)
 			if err != nil {
-				return total, err
+				return nil, err
 			}
 			diags = append(diags, ds...)
 		}
-		sort.Slice(diags, func(i, j int) bool {
-			a, b := diags[i].Pos, diags[j].Pos
-			if a.Filename != b.Filename {
-				return a.Filename < b.Filename
-			}
-			if a.Line != b.Line {
-				return a.Line < b.Line
-			}
-			return a.Column < b.Column
-		})
-		for _, d := range diags {
-			rel := d
-			if r, err := filepath.Rel(root, d.Pos.Filename); err == nil {
-				rel.Pos.Filename = r
-			}
-			if _, err := fmt.Fprintln(w, rel); err != nil {
-				return total, err
-			}
-		}
-		total += len(diags)
 	}
-	return total, nil
+	// Relativize filenames to the module root for stable, portable output.
+	for i := range diags {
+		if r, err := filepath.Rel(root, diags[i].Pos.Filename); err == nil && !strings.HasPrefix(r, "..") {
+			diags[i].Pos.Filename = filepath.ToSlash(r)
+		}
+	}
+	sortDiagnostics(diags)
+	return diags, nil
+}
+
+// WriteText prints diagnostics one per line in file:line:col order — the
+// grep-able format the lint Makefile target and editors consume.
+func WriteText(w io.Writer, diags []Diagnostic) error {
+	for _, d := range diags {
+		if _, err := fmt.Fprintln(w, d); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RunDirs loads each package directory and applies every in-scope analyzer,
+// writing diagnostics to w in file:line:col order. It returns the number of
+// diagnostics; a load or analysis failure aborts with an error.
+//
+// It is the text-format pipeline behind Main, kept as an exported entry
+// point for embedding.
+func RunDirs(w io.Writer, root, module string, dirs []string, analyzers []*Analyzer) (int, error) {
+	diags, err := Collect(root, module, dirs, analyzers, time.Now())
+	if err != nil {
+		return 0, err
+	}
+	if err := WriteText(w, diags); err != nil {
+		return len(diags), err
+	}
+	return len(diags), nil
 }
 
 // Main is the clusterqlint entry point, factored out of package main so
-// tests can drive it. It returns the process exit code: 0 clean, 1 findings,
-// 2 usage or load failure.
+// tests can drive it. It parses driver flags (-format=text|sarif) from args,
+// treats the rest as package patterns (default ./...), and returns the
+// process exit code: 0 clean, 1 findings, 2 usage or load failure. The exit
+// codes are format-independent: CI can generate SARIF and still gate on the
+// code.
 func Main(w, errw io.Writer, cwd string, args []string) int {
-	if len(args) == 0 {
-		args = []string{"./..."}
+	fs := flag.NewFlagSet("clusterqlint", flag.ContinueOnError)
+	fs.SetOutput(errw)
+	format := fs.String("format", "text", "output format: text or sarif")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
 	}
 	// Diagnostics to errw are best-effort: the exit code carries the result.
 	cwd, err := filepath.Abs(cwd)
@@ -167,18 +245,34 @@ func Main(w, errw io.Writer, cwd string, args []string) int {
 		_, _ = fmt.Fprintln(errw, "clusterqlint:", err)
 		return 2
 	}
-	dirs, err := ExpandPatterns(cwd, args)
+	dirs, err := ExpandPatterns(cwd, patterns)
 	if err != nil {
 		_, _ = fmt.Fprintln(errw, "clusterqlint:", err)
 		return 2
 	}
-	n, err := RunDirs(w, root, module, dirs, All())
+	analyzers := All()
+	diags, err := Collect(root, module, dirs, analyzers, time.Now())
 	if err != nil {
 		_, _ = fmt.Fprintln(errw, "clusterqlint:", err)
 		return 2
 	}
-	if n > 0 {
-		_, _ = fmt.Fprintf(errw, "clusterqlint: %d finding(s)\n", n)
+	switch *format {
+	case "text":
+		if err := WriteText(w, diags); err != nil {
+			_, _ = fmt.Fprintln(errw, "clusterqlint:", err)
+			return 2
+		}
+	case "sarif":
+		if err := WriteSARIF(w, analyzers, diags); err != nil {
+			_, _ = fmt.Fprintln(errw, "clusterqlint:", err)
+			return 2
+		}
+	default:
+		_, _ = fmt.Fprintf(errw, "clusterqlint: unknown -format %q (want text or sarif)\n", *format)
+		return 2
+	}
+	if len(diags) > 0 {
+		_, _ = fmt.Fprintf(errw, "clusterqlint: %d finding(s)\n", len(diags))
 		return 1
 	}
 	return 0

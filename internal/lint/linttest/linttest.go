@@ -22,9 +22,15 @@ import (
 	"strconv"
 	"strings"
 	"testing"
+	"time"
 
 	"clusterq/internal/lint"
 )
+
+// Now is the fixed waiver-expiry anchor every harness run uses, so fixture
+// waivers behave identically on any day the tests run. Fixtures that must
+// stay live use until=2099-01-01; expiry fixtures use dates around this one.
+var Now = time.Date(2026, 7, 1, 12, 0, 0, 0, time.UTC)
 
 // wantRe captures everything after "want" in a comment; the remainder must
 // be one or more Go-quoted strings (backquoted or double-quoted).
@@ -37,8 +43,37 @@ type want struct {
 }
 
 // Run loads each fixture package beneath root and verifies the analyzer's
-// diagnostics match the // want comments exactly.
-func Run(t *testing.T, root string, a *lint.Analyzer, pkgs ...string) {
+// diagnostics match the // want comments exactly. Packages are analyzed in
+// the order given with one shared fact store — list a corpus's dependency
+// packages first and their facts are visible to the importers, exactly as
+// the dependency-ordered clusterqlint driver guarantees. The store is
+// returned for fact-export assertions.
+func Run(t *testing.T, root string, a *lint.Analyzer, pkgs ...string) *lint.FactStore {
+	t.Helper()
+	facts := lint.NewFactStore()
+	check(t, root, pkgs, func(pkg *lint.Package) ([]lint.Diagnostic, error) {
+		if !a.AppliesTo(pkg.Path) {
+			return nil, nil
+		}
+		return lint.RunAt(a, pkg, Now, facts)
+	})
+	return facts
+}
+
+// RunWaiverCheck verifies the waiver-hygiene diagnostics (pseudo-analyzer
+// "waive") of each fixture package against its // want comments, with Now as
+// the expiry anchor.
+func RunWaiverCheck(t *testing.T, root string, pkgs ...string) {
+	t.Helper()
+	known := lint.KnownAnalyzers()
+	check(t, root, pkgs, func(pkg *lint.Package) ([]lint.Diagnostic, error) {
+		return lint.CheckWaivers(pkg, Now, known), nil
+	})
+}
+
+// check is the shared load-run-claim loop behind Run and RunWaiverCheck.
+func check(t *testing.T, root string, pkgs []string,
+	run func(*lint.Package) ([]lint.Diagnostic, error)) {
 	t.Helper()
 	loader := lint.NewLoader("", root, true)
 	for _, path := range pkgs {
@@ -47,12 +82,9 @@ func Run(t *testing.T, root string, a *lint.Analyzer, pkgs ...string) {
 		if err != nil {
 			t.Fatalf("load %s: %v", path, err)
 		}
-		var diags []lint.Diagnostic
-		if a.AppliesTo(path) {
-			diags, err = lint.Run(a, pkg)
-			if err != nil {
-				t.Fatalf("run %s on %s: %v", a.Name, path, err)
-			}
+		diags, err := run(pkg)
+		if err != nil {
+			t.Fatalf("run on %s: %v", path, err)
 		}
 		wants := collectWants(t, pkg)
 		for _, d := range diags {

@@ -1,0 +1,227 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// MapIter is the second-generation determinism-dataflow analyzer: it flags
+// `for range` over a map wherever the iteration order can reach a result — a
+// slice built across iterations, a float accumulator, an emitted trace or
+// report (fmt/io/hash writes), or a channel send. Go randomizes map order on
+// purpose; any of these sinks turns that randomization into run-to-run
+// drift, which is exactly the bug class the golden-hash experiments exist to
+// rule out.
+//
+// The canonical safe idiom — collect the keys, sort them, iterate the
+// sorted slice — is recognized and suppressed: a map range that appends to a
+// slice which is later (in the same function) passed to sort.* or
+// slices.Sort* does not fire. Integer accumulation (commutative, exact) and
+// writes into other maps (keyed, so order-free) are likewise not flagged.
+var MapIter = &Analyzer{
+	Name: "mapiter",
+	Doc: "forbid map iteration whose order can reach results, hashes, or " +
+		"emitted traces (sorted-key collection is recognized and allowed)",
+	Scope: []string{"internal/sim", "internal/experiments", "internal/opt"},
+	Run:   runMapIter,
+}
+
+// emitterFuncs are fmt functions that emit formatted output; calling one
+// inside a map range writes in map order. (Sprintf is pure and exempt.)
+var emitterFuncs = map[string]bool{
+	"Fprintf": true, "Fprintln": true, "Fprint": true,
+	"Printf": true, "Println": true, "Print": true,
+}
+
+// emitterMethods are method names that write to an output stream, a hash, or
+// an encoder — order-visible sinks whatever the receiver type.
+var emitterMethods = map[string]bool{
+	"Write": true, "WriteString": true, "WriteByte": true, "WriteRune": true,
+	"Printf": true, "Print": true, "Println": true, "Encode": true,
+	"Sum": true, "Sum64": true, "Sum32": true,
+}
+
+func runMapIter(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				rng, ok := n.(*ast.RangeStmt)
+				if !ok {
+					return true
+				}
+				tv, ok := pass.Info.Types[rng.X]
+				if !ok {
+					return true
+				}
+				if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+					return true
+				}
+				checkOneMapRange(pass, rng, fd.Body)
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// checkOneMapRange inspects the loop body for order-sensitive sinks. fnBody
+// is the enclosing function body, scanned for the sorted-afterwards
+// suppression.
+func checkOneMapRange(pass *Pass, rng *ast.RangeStmt, fnBody *ast.BlockStmt) {
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			checkMapIterAssign(pass, rng, n, fnBody)
+		case *ast.SendStmt:
+			if declaredBefore(pass, n.Chan, rng.Pos()) {
+				pass.Reportf(n.Pos(),
+					"channel send inside a map range delivers values in "+
+						"map-iteration order: sort the keys first")
+				return false
+			}
+		case *ast.CallExpr:
+			checkMapIterCall(pass, n)
+		}
+		return true
+	})
+}
+
+func checkMapIterAssign(pass *Pass, rng *ast.RangeStmt, n *ast.AssignStmt, fnBody *ast.BlockStmt) {
+	switch n.Tok {
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+		for _, lhs := range n.Lhs {
+			if isFloat(pass.exprType(lhs)) && declaredBefore(pass, lhs, rng.Pos()) {
+				pass.Reportf(n.Pos(),
+					"float accumulation across a map range: iteration order "+
+						"perturbs the rounding and the sum reaches the result "+
+						"(sort the keys, or accumulate over a slice)")
+				return
+			}
+		}
+	case token.ASSIGN, token.DEFINE:
+		for i, rhs := range n.Rhs {
+			call, ok := rhs.(*ast.CallExpr)
+			if !ok || !isBuiltinAppend(pass, call) || i >= len(n.Lhs) {
+				continue
+			}
+			lhs := n.Lhs[i]
+			if !declaredBefore(pass, lhs, rng.Pos()) {
+				continue
+			}
+			if obj := rootObject(pass, lhs); obj != nil && sortedAfter(pass, fnBody, rng.End(), obj) {
+				continue // collect-then-sort: the canonical safe idiom
+			}
+			pass.Reportf(n.Pos(),
+				"append inside a map range builds a slice in map-iteration "+
+					"order: sort it (sort.* / slices.Sort*) before use, or "+
+					"iterate sorted keys")
+			return
+		}
+		// x = x + v float accumulation spelled longhand.
+		if n.Tok == token.ASSIGN && len(n.Lhs) == 1 && len(n.Rhs) == 1 {
+			if bin, ok := n.Rhs[0].(*ast.BinaryExpr); ok &&
+				(bin.Op == token.ADD || bin.Op == token.SUB) &&
+				isFloat(pass.exprType(n.Lhs[0])) &&
+				declaredBefore(pass, n.Lhs[0], rng.Pos()) &&
+				sameRootObject(pass, n.Lhs[0], bin.X) {
+				pass.Reportf(n.Pos(),
+					"float accumulation across a map range: iteration order "+
+						"perturbs the rounding and the sum reaches the result "+
+						"(sort the keys, or accumulate over a slice)")
+			}
+		}
+	}
+}
+
+func checkMapIterCall(pass *Pass, call *ast.CallExpr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	if pkgOf(pass, sel) == "fmt" {
+		if emitterFuncs[sel.Sel.Name] {
+			pass.Reportf(call.Pos(),
+				"fmt.%s inside a map range emits output in map-iteration "+
+					"order: sort the keys first", sel.Sel.Name)
+		}
+		return
+	}
+	// Method calls on writers, hashes, encoders: order-visible sinks.
+	if pkgOf(pass, sel) == "" && emitterMethods[sel.Sel.Name] {
+		if _, isMethod := pass.Info.Selections[sel]; isMethod {
+			pass.Reportf(call.Pos(),
+				"%s call inside a map range writes in map-iteration order "+
+					"(traces, hashes and encoders are order-sensitive): sort "+
+					"the keys first", sel.Sel.Name)
+		}
+	}
+}
+
+// rootObject resolves an expression to the object of its base identifier
+// (x, x.f, x[i] all resolve to x).
+func rootObject(pass *Pass, e ast.Expr) types.Object {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			if obj := pass.Info.Uses[x]; obj != nil {
+				return obj
+			}
+			return pass.Info.Defs[x]
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+func sameRootObject(pass *Pass, a, b ast.Expr) bool {
+	oa, ob := rootObject(pass, a), rootObject(pass, b)
+	return oa != nil && oa == ob
+}
+
+// sortedAfter reports whether, anywhere in the function body after the given
+// position, the object is passed to a sort.* or slices.* call — the signal
+// that the map range only collected keys for sorted iteration.
+func sortedAfter(pass *Pass, fnBody *ast.BlockStmt, after token.Pos, obj types.Object) bool {
+	found := false
+	ast.Inspect(fnBody, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < after {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		switch pkgOf(pass, sel) {
+		case "sort", "slices":
+		default:
+			return true
+		}
+		for _, arg := range call.Args {
+			ast.Inspect(arg, func(an ast.Node) bool {
+				if id, ok := an.(*ast.Ident); ok && pass.Info.Uses[id] == obj {
+					found = true
+				}
+				return !found
+			})
+		}
+		return !found
+	})
+	return found
+}

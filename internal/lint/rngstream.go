@@ -1,0 +1,225 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"path/filepath"
+	"strings"
+)
+
+// RNGStream enforces the RNG-stream discipline that keeps feature-gated
+// simulator extensions golden-hash compatible (established by the failure-
+// injection PR and documented in internal/sim/sim.go):
+//
+//  1. New generator streams come only from the split helper — (*RNG).Split
+//     in internal/sim/rng.go — or directly from a replication seed. A
+//     hand-rolled NewRNG(r.Uint64()) is an un-audited split that silently
+//     consumes draws from an existing stream and shifts every later one.
+//  2. Streams are append-only: split results are appended after every
+//     existing stream (s.xRNG = append(s.xRNG, root.Split())), never stored
+//     by index. An indexed store reorders the split sequence and changes
+//     every stream split after it, breaking bit-reproducibility of runs
+//     with the reordered feature off.
+//  3. No generator is shared across goroutines: a `go func(){...}` literal
+//     must not capture an *RNG (or *math/rand.Rand) declared outside it —
+//     the data race the parallel-replication runner in run.go is structured
+//     to avoid. Handing a freshly split generator to the goroutine as an
+//     argument is fine; the split then happens before the spawn.
+var RNGStream = &Analyzer{
+	Name: "rngstream",
+	Doc: "RNG streams must be created via the split helper (or a seed), " +
+		"appended after existing streams, and never shared across goroutines",
+	Scope: []string{"internal/sim"},
+	Run:   runRNGStream,
+}
+
+func runRNGStream(pass *Pass) error {
+	for _, f := range pass.Files {
+		filename := filepath.Base(pass.Fset.Position(f.Pos()).Filename)
+		inRNGFile := filename == "rng.go"
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				if !inRNGFile {
+					checkRNGConstruction(pass, n)
+				}
+			case *ast.AssignStmt:
+				checkRNGIndexedStore(pass, n)
+			case *ast.GoStmt:
+				checkRNGGoroutineCapture(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isRNGType reports whether t is (a pointer to) the simulator's RNG type or
+// math/rand's Rand.
+func isRNGType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	name, path := named.Obj().Name(), named.Obj().Pkg().Path()
+	switch {
+	case name == "RNG" && (path == "internal/sim" || strings.HasSuffix(path, "/internal/sim")):
+		return true
+	case name == "Rand" && (path == "math/rand" || path == "math/rand/v2"):
+		return true
+	}
+	return false
+}
+
+// seedDerived reports whether the expression plausibly derives from a
+// replication seed rather than an existing stream: a compile-time constant
+// (a literal IS a seed), or an identifier or selector whose name mentions
+// "seed", possibly offset by integer arithmetic or conversions (seed,
+// o.Seed+uint64(r), cfg.Seed...).
+func seedDerived(pass *Pass, e ast.Expr) bool {
+	if tv, ok := pass.Info.Types[e]; ok && tv.Value != nil {
+		return true
+	}
+	switch x := e.(type) {
+	case *ast.Ident:
+		return strings.Contains(strings.ToLower(x.Name), "seed")
+	case *ast.SelectorExpr:
+		return strings.Contains(strings.ToLower(x.Sel.Name), "seed")
+	case *ast.BinaryExpr:
+		return seedDerived(pass, x.X) || seedDerived(pass, x.Y)
+	case *ast.CallExpr: // conversions like uint64(seed+r)
+		if len(x.Args) == 1 {
+			if tv, ok := pass.Info.Types[x.Fun]; ok && tv.IsType() {
+				return seedDerived(pass, x.Args[0])
+			}
+		}
+	case *ast.ParenExpr:
+		return seedDerived(pass, x.X)
+	}
+	return false
+}
+
+// checkRNGConstruction flags stream constructions outside rng.go that do not
+// derive from a seed: NewRNG(...) in the sim package and rand.New /
+// rand.NewSource / rand.NewPCG / rand.NewChaCha8 calls.
+func checkRNGConstruction(pass *Pass, call *ast.CallExpr) {
+	var name string
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		if fun.Name != "NewRNG" {
+			return
+		}
+		// Only the sim package's own NewRNG counts.
+		if fn, ok := pass.Info.Uses[fun].(*types.Func); !ok || fn.Pkg() == nil ||
+			fn.Pkg() != pass.Pkg {
+			return
+		}
+		name = "NewRNG"
+	case *ast.SelectorExpr:
+		switch pkgOf(pass, fun) {
+		case "math/rand", "math/rand/v2":
+		default:
+			return
+		}
+		switch fun.Sel.Name {
+		case "New", "NewSource", "NewPCG", "NewChaCha8":
+			name = "rand." + fun.Sel.Name
+		default:
+			return
+		}
+	default:
+		return
+	}
+	for _, arg := range call.Args {
+		if !seedDerived(pass, arg) {
+			pass.Reportf(call.Pos(),
+				"%s from a non-seed value constructs an un-audited RNG "+
+					"stream: derive streams with the split helper "+
+					"((*RNG).Split in rng.go) or directly from a replication "+
+					"seed", name)
+			return
+		}
+	}
+	if len(call.Args) == 0 {
+		pass.Reportf(call.Pos(),
+			"%s without a seed constructs a nondeterministic stream: pass a "+
+				"replication seed or use the split helper", name)
+	}
+}
+
+// splitCall reports whether the expression contains a .Split() call on an
+// RNG receiver.
+func splitCall(pass *Pass, e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || found {
+			return !found
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Split" {
+			return true
+		}
+		if isRNGType(pass.exprType(sel.X)) {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// checkRNGIndexedStore flags split results stored through an index
+// expression: the append-only discipline keeps the relative order of every
+// existing stream fixed.
+func checkRNGIndexedStore(pass *Pass, n *ast.AssignStmt) {
+	for i, lhs := range n.Lhs {
+		if i >= len(n.Rhs) {
+			break
+		}
+		if _, ok := lhs.(*ast.IndexExpr); !ok {
+			continue
+		}
+		if splitCall(pass, n.Rhs[i]) {
+			pass.Reportf(n.Pos(),
+				"RNG stream stored by index: streams are append-only "+
+					"(s.x = append(s.x, r.Split())) so existing streams never "+
+					"move and feature-off runs stay bit-identical")
+		}
+	}
+}
+
+// checkRNGGoroutineCapture flags `go func(){...}` literals whose body uses
+// an RNG declared outside the literal — a shared stream and a data race.
+func checkRNGGoroutineCapture(pass *Pass, g *ast.GoStmt) {
+	lit, ok := g.Call.Fun.(*ast.FuncLit)
+	if !ok {
+		return
+	}
+	reported := map[types.Object]bool{}
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := pass.Info.Uses[id]
+		if obj == nil || reported[obj] || !isRNGType(obj.Type()) {
+			return true
+		}
+		// Declared inside the literal (parameter or local): private stream.
+		if obj.Pos() >= lit.Pos() && obj.Pos() < lit.End() {
+			return true
+		}
+		reported[obj] = true
+		pass.Reportf(id.Pos(),
+			"RNG %q is shared across goroutines: generators are not "+
+				"concurrency-safe and shared draws destroy determinism — "+
+				"split a stream before the spawn and pass it in", id.Name)
+		return true
+	})
+}

@@ -1,0 +1,125 @@
+package lint
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// SARIF 2.1.0 output, the interchange format GitHub code scanning ingests.
+// The structures below are the minimal subset a code-scanning upload needs:
+// one run, one tool driver with a rule per analyzer (plus the "waive"
+// pseudo-rule for waiver-hygiene findings), and one result per diagnostic
+// with a physical location. URIs are module-root-relative with forward
+// slashes, which is what Collect already produces.
+
+const (
+	sarifSchema  = "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json"
+	sarifVersion = "2.1.0"
+)
+
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name           string      `json:"name"`
+	InformationURI string      `json:"informationUri,omitempty"`
+	Rules          []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string       `json:"id"`
+	ShortDescription sarifMessage `json:"shortDescription"`
+}
+
+type sarifMessage struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID    string          `json:"ruleId"`
+	Level     string          `json:"level"`
+	Message   sarifMessage    `json:"message"`
+	Locations []sarifLocation `json:"locations"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysicalLocation `json:"physicalLocation"`
+}
+
+type sarifPhysicalLocation struct {
+	ArtifactLocation sarifArtifactLocation `json:"artifactLocation"`
+	Region           sarifRegion           `json:"region"`
+}
+
+type sarifArtifactLocation struct {
+	URI string `json:"uri"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn,omitempty"`
+}
+
+// WriteSARIF renders diagnostics as a SARIF 2.1.0 log. Rules cover every
+// registered analyzer plus the "waive" pseudo-analyzer so each result's
+// ruleId resolves; results keep the text format's ordering (file:line:col).
+func WriteSARIF(w io.Writer, analyzers []*Analyzer, diags []Diagnostic) error {
+	rules := make([]sarifRule, 0, len(analyzers)+1)
+	for _, a := range analyzers {
+		rules = append(rules, sarifRule{
+			ID:               a.Name,
+			ShortDescription: sarifMessage{Text: a.Doc},
+		})
+	}
+	rules = append(rules, sarifRule{
+		ID:               "waive",
+		ShortDescription: sarifMessage{Text: "waiver hygiene: //lint:waive needs a known analyzer, a reason, and an unexpired until date"},
+	})
+
+	results := make([]sarifResult, 0, len(diags))
+	for _, d := range diags {
+		line := d.Pos.Line
+		if line < 1 {
+			line = 1 // SARIF regions are 1-based; clamp file-scope findings
+		}
+		region := sarifRegion{StartLine: line}
+		if d.Pos.Column > 0 {
+			region.StartColumn = d.Pos.Column
+		}
+		results = append(results, sarifResult{
+			RuleID:  d.Analyzer,
+			Level:   "error",
+			Message: sarifMessage{Text: d.Message},
+			Locations: []sarifLocation{{
+				PhysicalLocation: sarifPhysicalLocation{
+					ArtifactLocation: sarifArtifactLocation{URI: d.Pos.Filename},
+					Region:           region,
+				},
+			}},
+		})
+	}
+
+	log := sarifLog{
+		Schema:  sarifSchema,
+		Version: sarifVersion,
+		Runs: []sarifRun{{
+			Tool:    sarifTool{Driver: sarifDriver{Name: "clusterqlint", Rules: rules}},
+			Results: results,
+		}},
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(log)
+}

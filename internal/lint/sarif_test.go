@@ -1,0 +1,180 @@
+package lint_test
+
+import (
+	"encoding/json"
+	"flag"
+	"go/token"
+	"os"
+	"strings"
+	"testing"
+
+	"clusterq/internal/lint"
+)
+
+var updateSARIF = flag.Bool("update-sarif", false, "rewrite testdata/golden.sarif")
+
+// TestWriteSARIFGolden renders a fixed diagnostic set and compares it byte
+// for byte against the checked-in golden log. Regenerate deliberately with
+//
+//	go test ./internal/lint -run TestWriteSARIFGolden -update-sarif
+//
+// and review the diff: the golden file is the SARIF compatibility contract.
+func TestWriteSARIFGolden(t *testing.T) {
+	diags := []lint.Diagnostic{
+		{
+			Pos:      token.Position{Filename: "internal/sim/engine.go", Line: 46, Column: 5},
+			Message:  "example finding one",
+			Analyzer: "floateq",
+		},
+		{
+			Pos:      token.Position{Filename: "internal/obs/serve.go", Line: 1},
+			Message:  `finding with "quotes" and a \ backslash`,
+			Analyzer: "waive",
+		},
+	}
+	var buf strings.Builder
+	if err := lint.WriteSARIF(&buf, lint.All(), diags); err != nil {
+		t.Fatal(err)
+	}
+	const golden = "testdata/golden.sarif"
+	if *updateSARIF {
+		if err := os.WriteFile(golden, []byte(buf.String()), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if buf.String() != string(want) {
+		t.Errorf("SARIF output drifted from %s:\n--- got ---\n%s\n--- want ---\n%s",
+			golden, buf.String(), want)
+	}
+}
+
+// sarifShape is the subset of the 2.1.0 schema GitHub code scanning requires;
+// the shape test decodes the real driver output into it.
+type sarifShape struct {
+	Schema  string `json:"$schema"`
+	Version string `json:"version"`
+	Runs    []struct {
+		Tool struct {
+			Driver struct {
+				Name  string `json:"name"`
+				Rules []struct {
+					ID               string `json:"id"`
+					ShortDescription struct {
+						Text string `json:"text"`
+					} `json:"shortDescription"`
+				} `json:"rules"`
+			} `json:"driver"`
+		} `json:"tool"`
+		Results []struct {
+			RuleID  string `json:"ruleId"`
+			Level   string `json:"level"`
+			Message struct {
+				Text string `json:"text"`
+			} `json:"message"`
+			Locations []struct {
+				PhysicalLocation struct {
+					ArtifactLocation struct {
+						URI string `json:"uri"`
+					} `json:"artifactLocation"`
+					Region struct {
+						StartLine int `json:"startLine"`
+					} `json:"region"`
+				} `json:"physicalLocation"`
+			} `json:"locations"`
+		} `json:"results"`
+	} `json:"runs"`
+}
+
+// TestMainSARIFFindings drives the real pipeline over the seeded bad module:
+// same exit code as text mode, but the stream is a valid code-scanning log.
+func TestMainSARIFFindings(t *testing.T) {
+	var out, errw strings.Builder
+	code := lint.Main(&out, &errw, "testdata/badmod", []string{"-format", "sarif"})
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1 (format must not change gating)\nstderr:\n%s",
+			code, errw.String())
+	}
+	var log sarifShape
+	if err := json.Unmarshal([]byte(out.String()), &log); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, out.String())
+	}
+	if log.Version != "2.1.0" || !strings.Contains(log.Schema, "sarif-schema-2.1.0") {
+		t.Errorf("version/schema = %q / %q", log.Version, log.Schema)
+	}
+	if len(log.Runs) != 1 {
+		t.Fatalf("runs = %d, want 1", len(log.Runs))
+	}
+	run := log.Runs[0]
+	if run.Tool.Driver.Name != "clusterqlint" {
+		t.Errorf("driver name = %q", run.Tool.Driver.Name)
+	}
+	ruleIDs := map[string]bool{}
+	for _, r := range run.Tool.Driver.Rules {
+		ruleIDs[r.ID] = true
+		if r.ShortDescription.Text == "" {
+			t.Errorf("rule %s has no description", r.ID)
+		}
+	}
+	for _, a := range lint.All() {
+		if !ruleIDs[a.Name] {
+			t.Errorf("rules missing analyzer %s", a.Name)
+		}
+	}
+	if !ruleIDs["waive"] {
+		t.Error("rules missing the waive pseudo-analyzer")
+	}
+	if len(run.Results) == 0 {
+		t.Fatal("badmod produced no results")
+	}
+	for _, r := range run.Results {
+		if !ruleIDs[r.RuleID] {
+			t.Errorf("result ruleId %q has no matching rule", r.RuleID)
+		}
+		if r.Level != "error" {
+			t.Errorf("level = %q, want error", r.Level)
+		}
+		if len(r.Locations) != 1 {
+			t.Fatalf("result has %d locations", len(r.Locations))
+		}
+		loc := r.Locations[0].PhysicalLocation
+		if loc.Region.StartLine < 1 {
+			t.Errorf("startLine = %d, want >= 1", loc.Region.StartLine)
+		}
+		uri := loc.ArtifactLocation.URI
+		if uri == "" || strings.Contains(uri, "\\") || strings.HasPrefix(uri, "/") {
+			t.Errorf("uri %q must be relative with forward slashes", uri)
+		}
+	}
+}
+
+// TestMainSARIFClean checks the empty-results log on the clean module, still
+// exit 0.
+func TestMainSARIFClean(t *testing.T) {
+	var out, errw strings.Builder
+	code := lint.Main(&out, &errw, "testdata/goodmod", []string{"-format", "sarif"})
+	if code != 0 {
+		t.Fatalf("exit code = %d, want 0\nstderr:\n%s", code, errw.String())
+	}
+	var log sarifShape
+	if err := json.Unmarshal([]byte(out.String()), &log); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	if len(log.Runs) != 1 || len(log.Runs[0].Results) != 0 {
+		t.Errorf("clean run must emit one run with zero results")
+	}
+}
+
+func TestMainUnknownFormatExitTwo(t *testing.T) {
+	var out, errw strings.Builder
+	code := lint.Main(&out, &errw, "testdata/goodmod", []string{"-format", "yaml"})
+	if code != 2 {
+		t.Fatalf("exit code = %d, want 2", code)
+	}
+	if !strings.Contains(errw.String(), "unknown -format") {
+		t.Errorf("stderr should name the bad format: %q", errw.String())
+	}
+}

@@ -1,0 +1,452 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// SyncGuard polices the concurrency primitives the lock-free observability
+// registry and the parallel sweep/replication runners depend on:
+//
+//   - sync.WaitGroup misuse: wg.Add called inside the goroutine it accounts
+//     for (races with Wait — the counter can hit zero before the goroutine
+//     starts) and wg.Add sequenced after wg.Wait in the same block (reuse
+//     without re-synchronization).
+//   - Copied locks: a value of a type that (transitively) contains a
+//     sync.Mutex, RWMutex, WaitGroup, Once, Cond or a sync/atomic value
+//     type must not be copied — value receivers, by-value parameters, deref
+//     copies, and range-value copies split the lock state. Named types
+//     containing locks are exported as "containslock" facts so importers
+//     are checked against types defined elsewhere.
+//   - Mixed atomic/non-atomic access: a struct field accessed through
+//     sync/atomic functions (atomic.AddInt64(&s.n, 1) style) is exported as
+//     an "atomicfield" fact; any plain read or write of the same field — in
+//     this package or a downstream one — is flagged. Mixed access is a data
+//     race the race detector only catches when both sides happen to run.
+var SyncGuard = &Analyzer{
+	Name: "syncguard",
+	Doc: "WaitGroup Add/Wait ordering, no copied locks, no mixed " +
+		"atomic/non-atomic access to the same field",
+	Scope: []string{
+		"internal/obs", "internal/obs/trace", "internal/obs/window",
+		"internal/experiments", "internal/sim",
+	},
+	Run: runSyncGuard,
+}
+
+func runSyncGuard(pass *Pass) error {
+	// Fact export pass: atomic fields and lock-containing named types.
+	exportAtomicFieldFacts(pass)
+	exportContainsLockFacts(pass)
+
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.GoStmt:
+				checkAddInGoroutine(pass, n)
+			case *ast.BlockStmt:
+				checkAddAfterWait(pass, n)
+			case *ast.FuncDecl:
+				checkLockCopyFunc(pass, n)
+			case *ast.RangeStmt:
+				checkLockCopyRange(pass, n)
+			case *ast.AssignStmt:
+				checkLockCopyAssign(pass, n)
+				checkPlainWriteToAtomicField(pass, n)
+			case *ast.IncDecStmt:
+				checkIncDecAtomicField(pass, n)
+			case *ast.SelectorExpr:
+				checkPlainReadOfAtomicField(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// ---------- WaitGroup discipline ----------
+
+// wgCall matches a method call wg.<name>() on a sync.WaitGroup and returns
+// the receiver's root object.
+func wgCall(pass *Pass, call *ast.CallExpr, name string) types.Object {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != name {
+		return nil
+	}
+	t := pass.exprType(sel.X)
+	if t == nil {
+		return nil
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil || named.Obj().Pkg().Path() != "sync" ||
+		named.Obj().Name() != "WaitGroup" {
+		return nil
+	}
+	return rootObject(pass, sel.X)
+}
+
+// checkAddInGoroutine flags wg.Add inside a `go func(){...}` literal when wg
+// is declared outside the literal: Wait can observe a zero counter before
+// the goroutine runs Add, so the wait is vacuous.
+func checkAddInGoroutine(pass *Pass, g *ast.GoStmt) {
+	lit, ok := g.Call.Fun.(*ast.FuncLit)
+	if !ok {
+		return
+	}
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if inner, ok := n.(*ast.GoStmt); ok && inner != g {
+			return false // nested spawns are their own GoStmt visit
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		obj := wgCall(pass, call, "Add")
+		if obj == nil || (obj.Pos() >= lit.Pos() && obj.Pos() < lit.End()) {
+			return true
+		}
+		pass.Reportf(call.Pos(),
+			"WaitGroup.Add inside the goroutine it accounts for: Wait can "+
+				"return before this Add runs — call Add before the go "+
+				"statement")
+		return true
+	})
+}
+
+// checkAddAfterWait flags wg.Add sequenced after wg.Wait on the same
+// WaitGroup in one statement block: reusing a WaitGroup without external
+// synchronization races new Adds against the returning Wait.
+func checkAddAfterWait(pass *Pass, block *ast.BlockStmt) {
+	waited := map[types.Object]bool{}
+	for _, st := range block.List {
+		es, ok := st.(*ast.ExprStmt)
+		if !ok {
+			continue
+		}
+		call, ok := es.X.(*ast.CallExpr)
+		if !ok {
+			continue
+		}
+		if obj := wgCall(pass, call, "Wait"); obj != nil {
+			waited[obj] = true
+			continue
+		}
+		if obj := wgCall(pass, call, "Add"); obj != nil && waited[obj] {
+			pass.Reportf(call.Pos(),
+				"WaitGroup.Add after Wait on the same WaitGroup: reuse "+
+					"without re-synchronization races the new Add against "+
+					"the returning Wait — use a fresh WaitGroup per round")
+		}
+	}
+}
+
+// ---------- copied locks ----------
+
+// syncLockTypes are the sync types whose values must not be copied after
+// first use.
+var syncLockTypes = map[string]bool{
+	"Mutex": true, "RWMutex": true, "WaitGroup": true, "Once": true,
+	"Cond": true, "Map": true, "Pool": true,
+}
+
+// containsLock walks a type structurally for embedded sync primitives or
+// sync/atomic value types. The named-type cache doubles as a cycle guard.
+func containsLock(t types.Type, seen map[*types.Named]bool) bool {
+	switch t := t.(type) {
+	case *types.Named:
+		obj := t.Obj()
+		if obj.Pkg() != nil {
+			switch obj.Pkg().Path() {
+			case "sync":
+				return syncLockTypes[obj.Name()]
+			case "sync/atomic":
+				return true // every sync/atomic value type is no-copy
+			}
+		}
+		if seen[t] {
+			return false
+		}
+		if seen == nil {
+			seen = map[*types.Named]bool{}
+		}
+		seen[t] = true
+		return containsLock(t.Underlying(), seen)
+	case *types.Struct:
+		for i := 0; i < t.NumFields(); i++ {
+			if containsLock(t.Field(i).Type(), seen) {
+				return true
+			}
+		}
+	case *types.Array:
+		return containsLock(t.Elem(), seen)
+	}
+	return false
+}
+
+// lockType reports whether values of t must not be copied, consulting the
+// structural walk (which crosses packages through go/types) and exporting
+// nothing itself.
+func lockType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if _, isPtr := t.(*types.Pointer); isPtr {
+		return false // pointers to locks copy fine
+	}
+	return containsLock(t, map[*types.Named]bool{})
+}
+
+// exportContainsLockFacts publishes "containslock" facts for the package's
+// named struct types, so fact-consuming tools (and tests) can see the
+// no-copy surface without re-walking the type graph.
+func exportContainsLockFacts(pass *Pass) {
+	scope := pass.Pkg.Scope()
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok || tn.IsAlias() {
+			continue
+		}
+		named, ok := tn.Type().(*types.Named)
+		if !ok {
+			continue
+		}
+		if containsLock(named.Underlying(), map[*types.Named]bool{named: true}) {
+			pass.Facts.Export(pass.Path, name, "containslock", "true")
+		}
+	}
+}
+
+// checkLockCopyFunc flags by-value lock parameters and value receivers.
+func checkLockCopyFunc(pass *Pass, fd *ast.FuncDecl) {
+	if fd.Recv != nil && len(fd.Recv.List) == 1 {
+		if t := pass.exprType(fd.Recv.List[0].Type); lockType(t) {
+			pass.Reportf(fd.Recv.Pos(),
+				"value receiver copies a lock-containing type %s: use a "+
+					"pointer receiver", types.TypeString(t, types.RelativeTo(pass.Pkg)))
+		}
+	}
+	if fd.Type.Params == nil {
+		return
+	}
+	for _, field := range fd.Type.Params.List {
+		if t := pass.exprType(field.Type); lockType(t) {
+			pass.Reportf(field.Pos(),
+				"by-value parameter copies a lock-containing type %s: pass a "+
+					"pointer", types.TypeString(t, types.RelativeTo(pass.Pkg)))
+		}
+	}
+}
+
+// checkLockCopyRange flags `for _, v := range s` where v copies a
+// lock-containing element.
+func checkLockCopyRange(pass *Pass, rng *ast.RangeStmt) {
+	if rng.Value == nil {
+		return
+	}
+	if t := pass.exprType(rng.Value); lockType(t) {
+		pass.Reportf(rng.Value.Pos(),
+			"range value copies a lock-containing type %s per iteration: "+
+				"range over indices or pointers",
+			types.TypeString(t, types.RelativeTo(pass.Pkg)))
+	}
+}
+
+// checkLockCopyAssign flags x := *p and x := y copies of lock-containing
+// values (assignment through a dereference or of another variable).
+func checkLockCopyAssign(pass *Pass, n *ast.AssignStmt) {
+	for i, rhs := range n.Rhs {
+		if i >= len(n.Lhs) {
+			break
+		}
+		switch rhs.(type) {
+		case *ast.StarExpr, *ast.Ident, *ast.SelectorExpr, *ast.IndexExpr:
+		default:
+			continue // composite literals etc. initialize, not copy
+		}
+		if t := pass.exprType(rhs); lockType(t) {
+			pass.Reportf(n.Pos(),
+				"assignment copies a lock-containing type %s: share a "+
+					"pointer instead", types.TypeString(t, types.RelativeTo(pass.Pkg)))
+			return
+		}
+	}
+}
+
+// ---------- mixed atomic/non-atomic access ----------
+
+// atomicFuncs are the sync/atomic package functions that take &x.field.
+var atomicFuncs = map[string]bool{
+	"AddInt32": true, "AddInt64": true, "AddUint32": true, "AddUint64": true,
+	"AddUintptr": true, "LoadInt32": true, "LoadInt64": true,
+	"LoadUint32": true, "LoadUint64": true, "LoadUintptr": true,
+	"LoadPointer": true, "StoreInt32": true, "StoreInt64": true,
+	"StoreUint32": true, "StoreUint64": true, "StoreUintptr": true,
+	"StorePointer": true, "SwapInt32": true, "SwapInt64": true,
+	"SwapUint32": true, "SwapUint64": true, "SwapUintptr": true,
+	"SwapPointer": true, "CompareAndSwapInt32": true,
+	"CompareAndSwapInt64": true, "CompareAndSwapUint32": true,
+	"CompareAndSwapUint64": true, "CompareAndSwapUintptr": true,
+	"CompareAndSwapPointer": true,
+}
+
+// fieldFactObject renders a field selection as the fact-object name
+// "Struct.field", or "" when the selection is not a named-struct field.
+func fieldFactObject(pass *Pass, sel *ast.SelectorExpr) (pkgPath, object string) {
+	s, ok := pass.Info.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return "", ""
+	}
+	recv := s.Recv()
+	if p, ok := recv.(*types.Pointer); ok {
+		recv = p.Elem()
+	}
+	named, ok := recv.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return "", ""
+	}
+	return named.Obj().Pkg().Path(), named.Obj().Name() + "." + s.Obj().Name()
+}
+
+// exportAtomicFieldFacts records every field the package accesses through a
+// sync/atomic function.
+func exportAtomicFieldFacts(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || pkgOf(pass, sel) != "sync/atomic" || !atomicFuncs[sel.Sel.Name] {
+				return true
+			}
+			if len(call.Args) == 0 {
+				return true
+			}
+			un, ok := call.Args[0].(*ast.UnaryExpr)
+			if !ok || un.Op != token.AND {
+				return true
+			}
+			fsel, ok := un.X.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			if pkg, obj := fieldFactObject(pass, fsel); obj != "" {
+				pass.Facts.Export(pkg, obj, "atomicfield", "true")
+			}
+			return true
+		})
+	}
+}
+
+// atomicField reports whether the selection resolves to a field some
+// analyzed package accesses atomically.
+func atomicField(pass *Pass, sel *ast.SelectorExpr) bool {
+	pkg, obj := fieldFactObject(pass, sel)
+	if obj == "" {
+		return false
+	}
+	_, ok := pass.Facts.Get(pkg, obj, "atomicfield")
+	return ok
+}
+
+// insideAtomicArg reports whether the selector is the &-operand of a
+// sync/atomic call — the legitimate access.
+func insideAtomicArg(pass *Pass, f *ast.File, sel *ast.SelectorExpr) bool {
+	inside := false
+	ast.Inspect(f, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || inside {
+			return !inside
+		}
+		cs, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || pkgOf(pass, cs) != "sync/atomic" {
+			return true
+		}
+		for _, arg := range call.Args {
+			if un, ok := arg.(*ast.UnaryExpr); ok && un.Op == token.AND && un.X == sel {
+				inside = true
+			}
+		}
+		return !inside
+	})
+	return inside
+}
+
+func reportMixedAtomic(pass *Pass, sel *ast.SelectorExpr, how string) {
+	_, obj := fieldFactObject(pass, sel)
+	pass.Reportf(sel.Pos(),
+		"non-atomic %s of %s, which is accessed with sync/atomic elsewhere: "+
+			"mixed access is a data race — use the atomic API on every access",
+		how, obj)
+}
+
+// checkPlainWriteToAtomicField flags assignments whose LHS is an atomic
+// field accessed without the atomic API.
+func checkPlainWriteToAtomicField(pass *Pass, n *ast.AssignStmt) {
+	for _, lhs := range n.Lhs {
+		if sel, ok := lhs.(*ast.SelectorExpr); ok && atomicField(pass, sel) {
+			reportMixedAtomic(pass, sel, "write")
+		}
+	}
+}
+
+func checkIncDecAtomicField(pass *Pass, n *ast.IncDecStmt) {
+	if sel, ok := n.X.(*ast.SelectorExpr); ok && atomicField(pass, sel) {
+		reportMixedAtomic(pass, sel, "increment")
+	}
+}
+
+// checkPlainReadOfAtomicField flags bare reads. Writes and increments are
+// reported by the statement-level checks; reads are recognized by exclusion
+// (a selector that is neither an atomic-call operand nor an assignment
+// target).
+func checkPlainReadOfAtomicField(pass *Pass, sel *ast.SelectorExpr) {
+	if !atomicField(pass, sel) {
+		return
+	}
+	// Find the file for the containment query.
+	var file *ast.File
+	for _, f := range pass.Files {
+		if f.Pos() <= sel.Pos() && sel.End() <= f.End() {
+			file = f
+			break
+		}
+	}
+	if file == nil || insideAtomicArg(pass, file, sel) || isWriteTarget(file, sel) {
+		return
+	}
+	reportMixedAtomic(pass, sel, "read")
+}
+
+// isWriteTarget reports whether the selector is an assignment LHS or an
+// inc/dec operand (those are reported as writes, not reads).
+func isWriteTarget(f *ast.File, sel *ast.SelectorExpr) bool {
+	target := false
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				if lhs == sel {
+					target = true
+				}
+			}
+		case *ast.IncDecStmt:
+			if n.X == sel {
+				target = true
+			}
+		case *ast.UnaryExpr:
+			// &x.f aliasing: taking the address is how the atomic API is
+			// used; non-atomic aliasing through & is beyond this check.
+			if n.Op == token.AND && n.X == sel {
+				target = true
+			}
+		}
+		return !target
+	})
+	return target
+}

@@ -83,7 +83,7 @@ func Clone(q *Queue, scale float64) *Queue { // not a New*/Must* constructor
 	return &Queue{lambda: q.lambda * scale, mu: q.mu}
 }
 
-//lint:ctorvalidate fixture: dimensionless ratio, waiver must suppress
+//lint:waive ctorvalidate reason="fixture: dimensionless ratio, waiver must suppress" until=2099-01-01
 func NewWaived(ratio float64) *Queue {
 	return &Queue{lambda: ratio}
 }

@@ -37,6 +37,6 @@ func almostEqual(a, b float64) bool {
 }
 
 func waivedCompare(a, b float64) bool {
-	//lint:floateq fixture: deliberate exact compare
+	//lint:waive floateq reason="fixture: deliberate exact compare" until=2099-01-01
 	return a == b
 }

@@ -1,0 +1,98 @@
+package sim
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Order-sensitive sinks inside a map range: each must be flagged.
+
+func floatAccum(m map[int]float64) float64 {
+	var total float64
+	for _, v := range m {
+		total += v // want `float accumulation across a map range`
+	}
+	return total
+}
+
+func floatAccumLonghand(m map[int]float64) float64 {
+	var total float64
+	for _, v := range m {
+		total = total + v // want `float accumulation across a map range`
+	}
+	return total
+}
+
+func unsortedAppend(m map[int]float64) []int {
+	var keys []int
+	for k := range m {
+		keys = append(keys, k) // want `append inside a map range builds a slice in map-iteration order`
+	}
+	return keys
+}
+
+func emitInOrder(w io.Writer, m map[int]float64) {
+	for k, v := range m {
+		fmt.Fprintf(w, "%d=%g\n", k, v) // want `fmt\.Fprintf inside a map range emits output in map-iteration order`
+	}
+}
+
+type tracer struct{}
+
+func (tracer) WriteString(s string) (int, error) { return len(s), nil }
+
+func methodEmit(tr tracer, m map[int]bool) {
+	for k := range m {
+		tr.WriteString(fmt.Sprint(k)) // want `WriteString call inside a map range writes in map-iteration order`
+	}
+}
+
+func channelSend(m map[int]float64, out chan float64) {
+	for _, v := range m {
+		out <- v // want `channel send inside a map range delivers values in map-iteration order`
+	}
+}
+
+// The canonical safe idiom — collect, sort, then iterate — must NOT fire:
+// this is the deliberate false-positive case for the sorted-key suppression.
+
+func sortedKeys(m map[int]float64) float64 {
+	var keys []int
+	for k := range m {
+		keys = append(keys, k) // collected only: sorted two lines down
+	}
+	sort.Ints(keys)
+	var total float64
+	for _, k := range keys {
+		total += m[k]
+	}
+	return total
+}
+
+// Order-free uses of a map range stay silent.
+
+func intCount(m map[int]float64) int {
+	n := 0
+	for range m {
+		n++ // integer accumulation is commutative and exact
+	}
+	return n
+}
+
+func keyedCopy(m map[int]float64) map[int]float64 {
+	out := make(map[int]float64, len(m))
+	for k, v := range m {
+		out[k] = v // writes into a keyed sink: order-free
+	}
+	return out
+}
+
+func localAppend(m map[int]float64) int {
+	for range m {
+		var scratch []int
+		scratch = append(scratch, 1) // loop-local slice never escapes an iteration
+		_ = scratch
+	}
+	return 0
+}

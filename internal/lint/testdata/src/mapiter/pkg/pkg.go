@@ -1,0 +1,11 @@
+// Package pkg is outside mapiter's scope (internal/sim, internal/experiments,
+// internal/opt): the same order-sensitive code must stay unflagged here.
+package pkg
+
+func FloatAccum(m map[int]float64) float64 {
+	var total float64
+	for _, v := range m {
+		total += v // out of scope: no diagnostic
+	}
+	return total
+}

@@ -1,0 +1,56 @@
+package sim
+
+import "math/rand"
+
+type state struct {
+	streams []*RNG
+}
+
+type options struct {
+	Seed uint64
+}
+
+// Un-audited constructions: a stream minted from another stream's draws.
+
+func handRolledSplit(r *RNG) *RNG {
+	return NewRNG(r.Uint64()) // want `NewRNG from a non-seed value constructs an un-audited RNG stream`
+}
+
+func stdlibFromDraw(r *RNG) *rand.Rand {
+	return rand.New(rand.NewSource(int64(r.Uint64()))) // want `rand\.New from a non-seed value` `rand\.NewSource from a non-seed value`
+}
+
+// Seed-derived constructions are the audited entry points: false-positive
+// cases the carve-out must keep silent.
+
+func fromSeed(seed uint64) *RNG { return NewRNG(seed) }
+
+func fromOptions(o options, rep int) *RNG { return NewRNG(o.Seed + uint64(rep)) }
+
+func fromConstant() *RNG { return NewRNG(7) } // a literal IS a seed
+
+// Stream registry discipline: append-only, never indexed stores.
+
+func appendStream(s *state, root *RNG) {
+	s.streams = append(s.streams, root.Split()) // the canonical idiom: silent
+}
+
+func indexedStore(s *state, root *RNG) {
+	s.streams[0] = root.Split() // want `RNG stream stored by index`
+}
+
+// Goroutine discipline: no generator crosses a spawn boundary by capture.
+
+func sharedAcrossGoroutines(root *RNG, done chan struct{}) {
+	go func() {
+		_ = root.Uint64() // want `RNG "root" is shared across goroutines`
+		close(done)
+	}()
+}
+
+func splitBeforeSpawn(root *RNG, done chan struct{}) {
+	go func(r *RNG) { // the split happens before the spawn: silent
+		_ = r.Uint64()
+		close(done)
+	}(root.Split())
+}

@@ -3,11 +3,11 @@ package sim
 import "time"
 
 func waivedClock() time.Time {
-	//lint:simdeterm fixture: waiver on the line above must suppress
+	//lint:waive simdeterm reason="fixture: waiver on the line above must suppress" until=2099-01-01
 	return time.Now()
 }
 
-//lint:simdeterm fixture: the waiver only reaches one line down
+//lint:waive simdeterm reason="fixture: the waiver only reaches one line down" until=2099-01-01
 func tooFarAbove() time.Time {
 	_ = 0
 	return time.Now() // want `time\.Now reads the wall clock`

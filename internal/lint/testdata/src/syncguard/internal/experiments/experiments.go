@@ -1,0 +1,15 @@
+// Package experiments exercises the cross-package fact flow: Counter.N was
+// exported as an "atomicfield" fact while analyzing syncguard/internal/obs,
+// so a plain write in this importer is flagged even though the atomic access
+// lives in another package.
+package experiments
+
+import obs "syncguard/internal/obs"
+
+func Reset(c *obs.Counter) {
+	c.N = 0 // want `non-atomic write of Counter\.N`
+}
+
+func Snapshot(c *obs.Counter) int64 {
+	return c.Load() // through the atomic API: silent
+}

@@ -1,0 +1,86 @@
+package obs
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Counter.N is accessed through sync/atomic in Inc, making every plain
+// access to it a data race.
+
+type Counter struct{ N int64 }
+
+func (c *Counter) Inc() { atomic.AddInt64(&c.N, 1) }
+
+func (c *Counter) Load() int64 { return atomic.LoadInt64(&c.N) }
+
+func (c *Counter) Mixed() int64 {
+	c.N++    // want `non-atomic increment of Counter\.N`
+	c.N = 0  // want `non-atomic write of Counter\.N`
+	v := c.N // want `non-atomic read of Counter\.N`
+	return v
+}
+
+// WaitGroup discipline.
+
+func SpawnBad(n int, work func()) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		go func() {
+			wg.Add(1) // want `WaitGroup\.Add inside the goroutine it accounts for`
+			defer wg.Done()
+			work()
+		}()
+	}
+	wg.Wait()
+	wg.Add(1) // want `WaitGroup\.Add after Wait on the same WaitGroup`
+	go func() { defer wg.Done(); work() }()
+	wg.Wait()
+}
+
+func SpawnGood(n int, work func()) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1) // Add before the spawn: silent
+		go func() {
+			defer wg.Done()
+			work()
+		}()
+	}
+	wg.Wait()
+}
+
+// Copied locks.
+
+type Guarded struct {
+	mu sync.Mutex
+	v  int
+}
+
+func (g *Guarded) Get() int { // pointer receiver: silent
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.v
+}
+
+func (g Guarded) Peek() int { // want `value receiver copies a lock-containing type`
+	return g.v
+}
+
+func resetAll(gs []Guarded) {
+	for i := range gs { // index range: silent
+		gs[i].v = 0
+	}
+	for _, g := range gs { // want `range value copies a lock-containing type`
+		_ = g.v
+	}
+}
+
+func snapshot(g Guarded) int { // want `by-value parameter copies a lock-containing type`
+	return g.v
+}
+
+func alias(p *Guarded) {
+	g := *p // want `assignment copies a lock-containing type`
+	_ = g.v
+}

@@ -1,0 +1,42 @@
+// Package pkg seeds one of every waiver-hygiene violation for the "waive"
+// pseudo-analyzer corpus. The harness anchors expiry at linttest.Now
+// (2026-07-01 12:00 UTC), so the until dates below are boundary-exact.
+package pkg
+
+func compare(a, b float64) bool {
+	//lint:floateq pre-expiry-era comment // want `legacy waiver syntax //lint:floateq`
+	eq := a == b
+
+	//lint:waive floateq until=2099-01-01 // want `malformed waiver: missing reason`
+	eq = a == b
+
+	//lint:waive floateq reason="no expiry attached" // want `malformed waiver: missing until`
+	eq = a == b
+
+	//lint:waive floateq reason="bad date" until=soon // want `unparseable until date "soon"`
+	eq = a == b
+
+	//lint:waive floateq reason=bare words until=2099-01-01 // want `reason must be a quoted string`
+	eq = a == b
+
+	//lint:waive floateq reason="" until=2099-01-01 // want `empty reason`
+	eq = a == b
+
+	//lint:waive nosuchanalyzer reason="typo in the name" until=2099-01-01 // want `waiver names unknown analyzer "nosuchanalyzer"`
+	eq = a == b
+
+	// Expired on the until day itself: the bound is exclusive, and Now falls
+	// exactly on it.
+	//lint:waive floateq reason="boundary case" until=2026-07-01 // want `waiver expired on 2026-07-01 \(reason was: boundary case\)`
+	eq = a == b
+
+	// Still live: expires the day after Now. No hygiene finding.
+	//lint:waive floateq reason="one day of life left" until=2026-07-02
+	eq = a == b
+
+	// Well-formed and far-future: the shape every real waiver has.
+	//lint:waive floateq reason="deliberate exact compare" until=2099-01-01
+	eq = a == b
+
+	return eq
+}

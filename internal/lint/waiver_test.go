@@ -1,0 +1,107 @@
+package lint_test
+
+import (
+	"go/token"
+	"strings"
+	"testing"
+	"time"
+
+	"clusterq/internal/lint"
+)
+
+func parse(t *testing.T, text string) lint.Waiver {
+	t.Helper()
+	w, ok := lint.ParseWaiver(text, token.Position{Filename: "x.go", Line: 1})
+	if !ok {
+		t.Fatalf("ParseWaiver(%q) did not recognize a waiver", text)
+	}
+	return w
+}
+
+func TestParseWaiverWellFormed(t *testing.T) {
+	w := parse(t, `//lint:waive floateq,simdeterm reason="two analyzers, one site" until=2026-12-01`)
+	if w.Err != "" || w.Legacy {
+		t.Fatalf("well-formed waiver rejected: err=%q legacy=%v", w.Err, w.Legacy)
+	}
+	if len(w.Analyzers) != 2 || w.Analyzers[0] != "floateq" || w.Analyzers[1] != "simdeterm" {
+		t.Errorf("analyzers = %v", w.Analyzers)
+	}
+	if w.Reason != "two analyzers, one site" {
+		t.Errorf("reason = %q", w.Reason)
+	}
+	if !w.Until.Equal(time.Date(2026, 12, 1, 0, 0, 0, 0, time.UTC)) {
+		t.Errorf("until = %v", w.Until)
+	}
+}
+
+func TestParseWaiverMalformed(t *testing.T) {
+	cases := []struct {
+		text, errFrag string
+	}{
+		{`//lint:waive floateq until=2026-12-01`, "missing reason"},
+		{`//lint:waive floateq reason="x"`, "missing until"},
+		{`//lint:waive floateq reason="x" until=December`, "unparseable until date"},
+		{`//lint:waive floateq reason=unquoted until=2026-12-01`, "quoted string"},
+		{`//lint:waive floateq reason="" until=2026-12-01`, "empty reason"},
+	}
+	for _, c := range cases {
+		w := parse(t, c.text)
+		if w.Err == "" {
+			t.Errorf("ParseWaiver(%q): no error, want %q", c.text, c.errFrag)
+			continue
+		}
+		if !strings.Contains(w.Err, c.errFrag) {
+			t.Errorf("ParseWaiver(%q): err = %q, want fragment %q", c.text, w.Err, c.errFrag)
+		}
+		if w.Expired(time.Date(2099, 1, 1, 0, 0, 0, 0, time.UTC)) {
+			t.Errorf("ParseWaiver(%q): malformed waivers report via CheckWaivers, not Expired", c.text)
+		}
+	}
+}
+
+func TestParseWaiverLegacy(t *testing.T) {
+	w := parse(t, `//lint:floateq deliberate exact compare`)
+	if !w.Legacy {
+		t.Fatal("legacy syntax not recognized")
+	}
+	if len(w.Analyzers) != 1 || w.Analyzers[0] != "floateq" {
+		t.Errorf("analyzers = %v", w.Analyzers)
+	}
+}
+
+func TestParseWaiverNotAWaiver(t *testing.T) {
+	for _, text := range []string{
+		"// plain prose",
+		"//go:embed file.txt",
+		"// mentions lint: but is prose",
+	} {
+		if _, ok := lint.ParseWaiver(text, token.Position{}); ok {
+			t.Errorf("ParseWaiver(%q) = true, want false", text)
+		}
+	}
+}
+
+// TestWaiverExpiryBoundary pins the exclusive-until semantics: a waiver dies
+// at 00:00 UTC of its until day, so it is expired on that day itself and
+// alive the full day before.
+func TestWaiverExpiryBoundary(t *testing.T) {
+	w := parse(t, `//lint:waive floateq reason="boundary" until=2026-07-01`)
+	if w.Err != "" {
+		t.Fatal(w.Err)
+	}
+	cases := []struct {
+		now     time.Time
+		expired bool
+	}{
+		{time.Date(2026, 6, 30, 0, 0, 0, 0, time.UTC), false},
+		{time.Date(2026, 6, 30, 23, 59, 59, 0, time.UTC), false},
+		{time.Date(2026, 7, 1, 0, 0, 0, 0, time.UTC), true}, // expired today
+		{time.Date(2026, 7, 1, 12, 0, 0, 0, time.UTC), true},
+		{time.Date(2026, 7, 2, 0, 0, 0, 0, time.UTC), true},
+	}
+	for _, c := range cases {
+		if got := w.Expired(c.now); got != c.expired {
+			t.Errorf("Expired(%s) = %v, want %v", c.now, got, c.expired)
+		}
+	}
+}

@@ -72,7 +72,7 @@ func DistForCV2(mean, cv2 float64) ServiceDist {
 			k = 1
 		}
 		return NewErlang(mean, k)
-	//lint:floateq deliberate exact compare: CV² exactly 1 selects the exponential family
+	//lint:waive floateq reason="deliberate exact compare: CV^2 exactly 1 selects the exponential family" until=2027-08-01
 	case cv2 == 1:
 		return NewExponential(mean)
 	default:

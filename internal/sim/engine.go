@@ -43,7 +43,7 @@ type event struct {
 type eventHeap []*event
 
 func (h eventHeap) less(i, j int) bool {
-	//lint:floateq deliberate exact compare: bitwise-equal times fall through to the seq tie-break
+	//lint:waive floateq reason="deliberate exact compare: bitwise-equal times fall through to the seq tie-break" until=2027-08-01
 	if h[i].time != h[j].time {
 		return h[i].time < h[j].time
 	}

@@ -48,7 +48,7 @@ type fjEvent struct {
 type fjHeap []fjEvent
 
 func (h fjHeap) less(i, j int) bool {
-	//lint:floateq deliberate exact compare: bitwise-equal times fall through to the seq tie-break
+	//lint:waive floateq reason="deliberate exact compare: bitwise-equal times fall through to the seq tie-break" until=2027-08-01
 	if h[i].time != h[j].time {
 		return h[i].time < h[j].time
 	}

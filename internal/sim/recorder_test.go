@@ -68,8 +68,9 @@ func TestSpanAccountingProperty(t *testing.T) {
 		if sp.Queue < 0 || sp.Service < 0 || sp.Preempted < 0 || sp.Backoff < 0 {
 			t.Fatalf("negative component in span %+v", sp)
 		}
-		//lint:floateq the decomposition is exact BY CONSTRUCTION (Sojourn is
-		// defined as this fixed-order sum); a tolerance would hide real drift
+		// The decomposition is exact BY CONSTRUCTION (Sojourn is defined as
+		// this fixed-order sum); a tolerance would hide real drift. floateq
+		// exempts _test.go files, so no waiver is needed.
 		if sp.Sojourn() != sp.Queue+sp.Service+sp.Preempted+sp.Backoff {
 			t.Fatalf("span components do not sum to sojourn: %+v", sp)
 		}

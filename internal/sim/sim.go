@@ -436,7 +436,7 @@ func (s *simulator) handleSetupDone(e *event) {
 // segment at the old speed, then resumes at the new one with its departure
 // rescheduled from the remaining work.
 func (s *simulator) setSpeed(st *simStation, now, speed float64) {
-	//lint:floateq deliberate exact compare: skip the reschedule only when the controller hands back the identical speed
+	//lint:waive floateq reason="deliberate exact compare: skip the reschedule only when the controller hands back the identical speed" until=2027-08-01
 	if speed == st.speed {
 		return
 	}

@@ -160,7 +160,7 @@ func (s *QuantileSet) Add(x float64) {
 // no estimator was configured for p.
 func (s *QuantileSet) Value(p float64) float64 {
 	for _, e := range s.est {
-		//lint:floateq deliberate exact compare: p is a lookup key copied verbatim from configuration
+		//lint:waive floateq reason="deliberate exact compare: p is a lookup key copied verbatim from configuration" until=2027-08-01
 		if e.p == p {
 			return e.Value()
 		}

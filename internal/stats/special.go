@@ -160,13 +160,13 @@ func TCDF(x, df float64) float64 {
 // on TCDF.
 func TQuantile(p, df float64) float64 {
 	if df <= 0 || p <= 0 || p >= 1 {
-		//lint:floateq deliberate exact compare: 0.5 is exactly representable and the median is exactly 0
+		//lint:waive floateq reason="deliberate exact compare: 0.5 is exactly representable and the median is exactly 0" until=2027-08-01
 		if p == 0.5 {
 			return 0
 		}
 		return math.NaN()
 	}
-	//lint:floateq deliberate exact compare: 0.5 is exactly representable and the median is exactly 0
+	//lint:waive floateq reason="deliberate exact compare: 0.5 is exactly representable and the median is exactly 0" until=2027-08-01
 	if p == 0.5 {
 		return 0
 	}

@@ -91,7 +91,8 @@ func TestFlightRecorderFullStack(t *testing.T) {
 	for k := range c.Classes {
 		b := rec.Breakdown(k)
 		completed += b.Completed
-		//lint:floateq the decomposition is exact by construction
+		// The decomposition is exact by construction, so == is safe here
+		// (floateq exempts _test.go files).
 		if b.Sojourn() != b.Queue+b.Service+b.Preempted+b.Backoff {
 			t.Errorf("class %d breakdown components do not sum to sojourn", k)
 		}
