@@ -91,6 +91,9 @@ func BenchmarkE20ForkJoin(b *testing.B) { benchExperiment(b, "E20") }
 // Extension: failure injection — breakdowns, deadlines, retries, shedding.
 func BenchmarkE21Failures(b *testing.B) { benchExperiment(b, "E21") }
 
+// Extension: shared-clock heterogeneous fleet orchestration.
+func BenchmarkE22Fleet(b *testing.B) { benchExperiment(b, "E22") }
+
 // BenchmarkMinimizeEnergyDual measures the decomposed C3a solve — the
 // production path for aggregate bounds.
 func BenchmarkMinimizeEnergyDual(b *testing.B) {

@@ -11,6 +11,7 @@
 //	       [-mtbf 100 -mttr 5]            # server breakdown/repair on every tier
 //	       [-deadline 10 -max-retries 2 -retry-backoff 0.5]  # timeout–retry–abandon, all classes
 //	       [-shed-threshold 0.9 -shed-period 25]             # priority-aware admission control
+//	       [-fleet 3 -fleet-spread 0.2]   # N cluster replicas under one shared clock
 //	       [-sample-period 10]            # probe: sample queues/util/power
 //	       [-metrics-out m.json]          # metric exposition (.prom for Prometheus text)
 //	       [-timeline-out tl.csv]         # sampled time series as CSV
@@ -45,6 +46,7 @@ import (
 	"clusterq/internal/obs/window"
 	"clusterq/internal/queueing"
 	"clusterq/internal/sim"
+	"clusterq/internal/sim/multi"
 )
 
 func main() {
@@ -75,6 +77,9 @@ func main() {
 		shedPeriod    = flag.Float64("shed-period", 25, "admission-control measurement epoch in simulated seconds (with -shed-threshold)")
 
 		tracePath = flag.String("trace", "", "write a CSV event trace to this file (forces 1 replication)")
+
+		fleetN      = flag.Int("fleet", 0, "run this many cluster replicas under one shared clock instead of independent replications (0 disables; dynamic flags apply to every replica)")
+		fleetSpread = flag.Float64("fleet-spread", 0, "heterogeneity of the fleet: replica speeds spread evenly across [1-s, 1+s] times the configured speed (with -fleet, in [0,1))")
 
 		samplePeriod = flag.Float64("sample-period", 0, "probe sampling period in simulated seconds (0 disables the probe)")
 		metricsOut   = flag.String("metrics-out", "", "write metrics to this file (.prom/.txt for Prometheus text, else JSON)")
@@ -118,6 +123,37 @@ func main() {
 		}
 		defer pprof.StopCPUProfile()
 	}
+	// Fleet mode runs N single-replication replicas under one shared clock
+	// (internal/sim/multi). The single-run observability surfaces assume one
+	// replication of one cluster, so they do not combine with a fleet.
+	if *fleetN < 0 {
+		fatal(fmt.Errorf("-fleet must be non-negative, got %d", *fleetN))
+	}
+	if *fleetN > 0 {
+		for _, f := range []struct {
+			name string
+			set  bool
+		}{
+			{"-trace", *tracePath != ""},
+			{"-span-out", *spanOut != ""},
+			{"-timeline-out", *timelineOut != ""},
+			{"-metrics-out", *metricsOut != ""},
+			{"-sample-period", *samplePeriod != 0},
+			{"-window", *winWidth > 0},
+			{"-http", *httpAddr != ""},
+			{"-progress", *progress},
+		} {
+			if f.set {
+				fatal(fmt.Errorf("%s is a single-run surface; it cannot combine with -fleet", f.name))
+			}
+		}
+		if !(*fleetSpread >= 0 && *fleetSpread < 1) {
+			fatal(fmt.Errorf("-fleet-spread %g out of [0,1)", *fleetSpread))
+		}
+	} else if *fleetSpread != 0 {
+		fatal(fmt.Errorf("-fleet-spread requires -fleet"))
+	}
+
 	opts := sim.Options{Horizon: *horizon, Replications: *reps, Seed: *seed}
 	if *q > 0 && *q < 1 {
 		opts.Quantiles = []float64{*q}
@@ -260,6 +296,10 @@ func main() {
 		fmt.Printf("admission control: shed above %.2f utilization, epoch %.4g s\n",
 			*shedThreshold, *shedPeriod)
 	}
+	if *fleetN > 0 {
+		runFleet(c, m, opts, *fleetN, *fleetSpread, *seed)
+		return
+	}
 	res, err := sim.Run(c, opts)
 	if err != nil {
 		fatal(err)
@@ -393,6 +433,70 @@ func main() {
 		signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
 		<-ch
 	}
+}
+
+// scaleSpeeds clones the cluster with every tier's speed — and its DVFS
+// clamp range — multiplied by factor, modeling a different server generation
+// of the same configuration.
+func scaleSpeeds(c *cluster.Cluster, factor float64) *cluster.Cluster {
+	n := c.Clone()
+	for _, t := range n.Tiers {
+		t.Speed *= factor
+		t.MinSpeed *= factor
+		t.MaxSpeed *= factor
+	}
+	return n
+}
+
+// runFleet simulates n replicas of the configured cluster under one shared
+// clock (internal/sim/multi) and prints per-replica and fleet-level results.
+// Replica i runs on seed+i; with a positive spread the replica speeds fan
+// out evenly across [1-spread, 1+spread], making the fleet heterogeneous.
+func runFleet(c *cluster.Cluster, m *cluster.Metrics, base sim.Options, n int, spread float64, seed uint64) {
+	replicas := make([]multi.Replica, n)
+	factors := make([]float64, n)
+	for i := range replicas {
+		factor := 1.0
+		rc := c
+		if n > 1 && spread > 0 {
+			factor = 1 - spread + 2*spread*float64(i)/float64(n-1)
+			rc = scaleSpeeds(c, factor)
+		}
+		factors[i] = factor
+		replicas[i] = multi.Replica{
+			Name:    fmt.Sprintf("replica%d", i),
+			Cluster: rc,
+			Options: base,
+			Seed:    seed + uint64(i),
+		}
+	}
+	orch, err := multi.New(replicas)
+	if err != nil {
+		fatal(err)
+	}
+	results, err := orch.Results()
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("simulated %d replicas under one shared clock, %.4g s each (speed spread ±%.0f%%)\n\n",
+		n, base.Horizon, 100*spread)
+	fmt.Println("per-replica results:")
+	for i, res := range results {
+		var done int64
+		for _, nk := range res.Completed {
+			done += nk
+		}
+		fmt.Printf("  %-10s speed x%-5.3g power %8.5g W   weighted delay %8.4g s   completed %d\n",
+			orch.Name(i), factors[i], res.TotalPower.Mean, res.WeightedDelay.Mean, done)
+		for j, tr := range res.Tiers {
+			fmt.Printf("    %-10s util %6.1f%% (model at x1: %5.1f%%)   power %.4g W\n",
+				tr.Name, 100*tr.Utilization.Mean, 100*m.Tiers[j].Utilization, tr.Power.Mean)
+		}
+	}
+	s := multi.Summarize(results)
+	fmt.Printf("\nfleet rollup: power %.5g W   weighted delay %.4g s   completed %d\n",
+		s.TotalPower, s.WeightedDelay, s.Completed)
 }
 
 // writeSpans dumps the recorder's spans as Chrome trace-event JSON.

@@ -12,6 +12,7 @@ const fixtures = "testdata/src"
 func TestSimDeterm(t *testing.T) {
 	linttest.Run(t, fixtures, lint.SimDeterm,
 		"simdeterm/internal/sim",
+		"simdeterm/internal/sim/multi",
 		"simdeterm/other", // out of scope: the wall-clock read there must pass
 	)
 }

@@ -1,0 +1,65 @@
+// Package multi mirrors the shared-clock orchestrator: the same determinism
+// invariants apply one level up — replica selection and fleet bookkeeping
+// must be pure functions of the replica seeds and simulated event times,
+// never of the host clock, the global rand stream, or map iteration order.
+package multi
+
+import (
+	"math/rand"
+	"time"
+)
+
+type replication struct{ next float64 }
+
+func (r *replication) peek() float64      { return r.next }
+func (r *replication) schedule(t float64) { r.next = t }
+
+// pickEarliest scans an ordered replica slice — index order breaks ties, so
+// slice iteration is the deterministic selection primitive: allowed.
+func pickEarliest(reps []*replication) int {
+	best := 0
+	for i, r := range reps {
+		if r.peek() < reps[best].peek() {
+			best = i
+		}
+	}
+	return best
+}
+
+func paceFleetWallClock(reps []*replication) {
+	t := time.Now() // want `time\.Now reads the wall clock`
+	reps[0].schedule(float64(t.Unix()))
+}
+
+func jitterSeedsGlobalStream(reps []*replication) {
+	for _, r := range reps {
+		r.schedule(rand.Float64()) // want `rand\.Float64 uses the global math/rand stream`
+	}
+}
+
+func seedReplica(r *replication, seed int64) {
+	rng := rand.New(rand.NewSource(seed)) // private per-replica stream: allowed
+	r.schedule(rng.ExpFloat64())
+}
+
+func advanceOverMap(byName map[string]*replication, now float64) {
+	for _, r := range byName {
+		r.schedule(now + 1) // want `event scheduling \(schedule\) inside a map range`
+	}
+}
+
+func fleetPowerOverMap(powerByName map[string]float64) float64 {
+	total := 0.0
+	for _, p := range powerByName {
+		total += p // want `float accumulation across a map range`
+	}
+	return total
+}
+
+func fleetPowerOverSlice(powers []float64) float64 {
+	total := 0.0
+	for _, p := range powers {
+		total += p // replica order is the slice order: allowed
+	}
+	return total
+}

@@ -130,6 +130,18 @@ func (c *calendar) at(t float64, e *event) {
 	c.h.up(len(c.h) - 1)
 }
 
+// peekTime reports the earliest scheduled event time without popping the
+// event or advancing the clock; ok is false when the calendar is empty.
+// Steppers use it to decide whether the next event is inside the horizon
+// BEFORE committing the clock to it — popping first would advance now past
+// the horizon and strand the event outside the free list.
+func (c *calendar) peekTime() (float64, bool) {
+	if len(c.h) == 0 {
+		return 0, false
+	}
+	return c.h[0].time, true
+}
+
 // next pops the earliest event and advances the clock; nil when empty.
 func (c *calendar) next() *event {
 	if len(c.h) == 0 {

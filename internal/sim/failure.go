@@ -339,16 +339,7 @@ func (s *simulator) handleShedEpoch() {
 	now := s.cal.now
 	worst := 0.0
 	for _, st := range s.stations {
-		var util float64
-		if up := st.servers - st.failed; up > 0 {
-			util = st.shedBusy.MeanAt(now)
-			if math.IsNaN(util) { // zero-length epoch
-				util = float64(len(st.running))
-			}
-			util /= float64(up)
-		} else {
-			util = 1 // no capacity at all: maximally overloaded
-		}
+		util := st.upUtilization(st.shedBusy.MeanAt(now))
 		if util > worst {
 			worst = util
 		}

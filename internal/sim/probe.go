@@ -133,10 +133,13 @@ func (s *simulator) handleSample() {
 		s.tl.Sample(now, row)
 	}
 	// The window sensors ride the same tick: utilization samples per tier,
-	// then a gauge refresh so live HTTP readers see current readings.
+	// then a gauge refresh so live HTTP readers see current readings. The
+	// samples are utilization of the UP servers — the controller-facing
+	// truth during outages — unlike the timeline's tier<j>_util column
+	// above, which keeps the configured-capacity view matching Result.Tiers.
 	if s.win != nil {
 		for j, st := range s.stations {
-			s.win.ObserveUtilization(now, j, float64(len(st.running))/float64(st.servers))
+			s.win.ObserveUtilization(now, j, st.instUpUtilization())
 		}
 		s.win.Publish(now)
 	}

@@ -270,35 +270,45 @@ type repOutput struct {
 	tl        *obs.Timeline // replication 0 only, with a probe attached
 }
 
-// Run simulates the cluster and aggregates the replications.
-func Run(c *cluster.Cluster, o Options) (*Result, error) {
+// validate resolves the option defaults and runs the full cross-check chain
+// against the cluster — the one validation path shared by Run and
+// NewReplication, so a stepped replication rejects exactly what a closed run
+// rejects. The receiver is a pointer: defaults() rewrites fields in place.
+func (o *Options) validate(c *cluster.Cluster) error {
 	if err := o.defaults(); err != nil {
-		return nil, err
+		return err
 	}
 	if err := c.Validate(); err != nil {
-		return nil, err
+		return err
 	}
 	k := len(c.Classes)
 	jn := len(c.Tiers)
-
 	if err := o.validateProfiles(k); err != nil {
-		return nil, err
+		return err
 	}
 	if err := o.validateSleep(jn); err != nil {
-		return nil, err
+		return err
 	}
 	if err := o.validateFailures(jn); err != nil {
-		return nil, err
+		return err
 	}
 	if err := o.validateDeadlines(k); err != nil {
-		return nil, err
+		return err
 	}
 	if err := o.validateShedding(k); err != nil {
-		return nil, err
+		return err
 	}
 	if o.Windows != nil && (o.Windows.Classes() != k || o.Windows.Tiers() != jn) {
-		return nil, fmt.Errorf("sim: window set sized for %d classes / %d tiers, cluster has %d / %d",
+		return fmt.Errorf("sim: window set sized for %d classes / %d tiers, cluster has %d / %d",
 			o.Windows.Classes(), o.Windows.Tiers(), k, jn)
+	}
+	return nil
+}
+
+// Run simulates the cluster and aggregates the replications.
+func Run(c *cluster.Cluster, o Options) (*Result, error) {
+	if err := o.validate(c); err != nil {
+		return nil, err
 	}
 	// Replications are independent (own RNG streams, own event calendar)
 	// and read the cluster immutably, so they run in parallel, bounded by
@@ -321,16 +331,10 @@ func Run(c *cluster.Cluster, o Options) (*Result, error) {
 				return
 			}
 			s.run()
-			// A trace that stopped writing mid-run is truncated data, not
-			// a result: surface the first write error instead of
-			// pretending the replication succeeded. flush pushes the
-			// buffered tail out first so the error check sees everything.
-			s.tr.flush()
-			if err := s.tr.Err(); err != nil {
-				errs[r] = fmt.Errorf("sim: trace write failed: %w", err)
+			reps[r], errs[r] = s.finish()
+			if errs[r] != nil {
 				return
 			}
-			reps[r] = s.summarize()
 			if o.Progress != nil {
 				o.Progress(int(done.Add(1)), o.Replications)
 			}
@@ -342,7 +346,27 @@ func Run(c *cluster.Cluster, o Options) (*Result, error) {
 			return nil, err
 		}
 	}
+	return aggregate(c, o, reps), nil
+}
 
+// finish flushes the replication's trace, surfaces any buffered write error
+// — a trace that stopped writing mid-run is truncated data, not a result —
+// and reduces the collectors to the per-replication summary.
+func (s *simulator) finish() (repOutput, error) {
+	s.tr.flush()
+	if err := s.tr.Err(); err != nil {
+		return repOutput{}, fmt.Errorf("sim: trace write failed: %w", err)
+	}
+	return s.summarize(), nil
+}
+
+// aggregate folds per-replication summaries into the cross-replication
+// Result (confidence intervals from across-replication variability) and
+// publishes the probe's registry output. Shared by Run and the stepped
+// Replication's Result, so both finalize identically.
+func aggregate(c *cluster.Cluster, o Options, reps []repOutput) *Result {
+	k := len(c.Classes)
+	jn := len(c.Tiers)
 	res := &Result{
 		Delay:            make([]stats.Estimate, k),
 		DelayQuantile:    make([]map[float64]float64, k),
@@ -431,11 +455,21 @@ func Run(c *cluster.Cluster, o Options) (*Result, error) {
 		}
 		publishProbe(o.Probe, res, o.Horizon)
 	}
-	return res, nil
+	return res
 }
 
 // summarize reduces one replication's raw collectors to scalars.
 func (s *simulator) summarize() repOutput {
+	// Degenerate light-traffic runs can finish with no event ever landing in
+	// [warmup, horizon): the event-driven reset never fires and the
+	// time-weighted busy/power statistics would silently include the
+	// transient. Finalize from the clock instead — the reset lands at the
+	// warmup boundary, the latest point the first in-window event could not
+	// have preceded. A no-op on every non-degenerate run, where the first
+	// post-warmup event already flipped warmupDone.
+	if !s.warmupDone {
+		s.endWarmup(s.warmup)
+	}
 	k := len(s.c.Classes)
 	out := repOutput{
 		delay:     make([]float64, k),

@@ -1,8 +1,6 @@
 package sim
 
 import (
-	"math"
-
 	"clusterq/internal/cluster"
 	"clusterq/internal/obs"
 	"clusterq/internal/obs/trace"
@@ -250,41 +248,59 @@ func newSimulator(c *cluster.Cluster, o Options, seed uint64, record bool) (*sim
 	return s, nil
 }
 
+// hasPendingEvents reports whether at least one event remains at or before
+// the horizon. It peeks rather than pops: the first past-horizon event stays
+// in the heap and the clock never commits to its time, so cal.now is bounded
+// by the horizon for the replication's whole life (asserted by
+// TestClockNeverExceedsHorizon).
+func (s *simulator) hasPendingEvents() bool {
+	t, ok := s.cal.peekTime()
+	return ok && t <= s.horizon
+}
+
+// processNextEvent pops and dispatches exactly one event, returning false —
+// without touching the calendar — when no event at or before the horizon
+// remains. This is the engine's single step; run() and the exported stepped
+// Replication are both thin loops over it.
+func (s *simulator) processNextEvent() bool {
+	if !s.hasPendingEvents() {
+		return false
+	}
+	e := s.cal.next()
+	if !s.warmupDone && e.time >= s.warmup {
+		s.endWarmup(e.time)
+	}
+	switch e.kind {
+	case evArrival:
+		s.handleArrival(e)
+	case evDeparture:
+		s.handleDeparture(e)
+	case evControl:
+		s.handleControl()
+	case evSetupDone:
+		s.handleSetupDone(e)
+	case evSample:
+		s.handleSample()
+	case evBreakdown:
+		s.handleBreakdown(e)
+	case evRepair:
+		s.handleRepair(e)
+	case evTimeout:
+		s.handleTimeout(e)
+	case evRetry:
+		s.handleRetry(e)
+	case evShedEpoch:
+		s.handleShedEpoch()
+	}
+	// The handler has returned and nothing retains the event (see
+	// pool.go): recycle it for the next schedule.
+	s.cal.recycle(e)
+	return true
+}
+
 // run executes the replication to the horizon.
 func (s *simulator) run() {
-	for !s.cal.empty() {
-		e := s.cal.next()
-		if e.time > s.horizon {
-			break
-		}
-		if !s.warmupDone && e.time >= s.warmup {
-			s.endWarmup(e.time)
-		}
-		switch e.kind {
-		case evArrival:
-			s.handleArrival(e)
-		case evDeparture:
-			s.handleDeparture(e)
-		case evControl:
-			s.handleControl()
-		case evSetupDone:
-			s.handleSetupDone(e)
-		case evSample:
-			s.handleSample()
-		case evBreakdown:
-			s.handleBreakdown(e)
-		case evRepair:
-			s.handleRepair(e)
-		case evTimeout:
-			s.handleTimeout(e)
-		case evRetry:
-			s.handleRetry(e)
-		case evShedEpoch:
-			s.handleShedEpoch()
-		}
-		// The handler has returned and nothing retains the event (see
-		// pool.go): recycle it for the next schedule.
-		s.cal.recycle(e)
+	for s.processNextEvent() {
 	}
 }
 
@@ -377,10 +393,11 @@ func (s *simulator) sampleIndex(k int, probs []float64) int {
 func (s *simulator) handleControl() {
 	now := s.cal.now
 	for _, st := range s.stations {
-		util := st.epochBusy.MeanAt(now) / float64(st.servers)
-		if math.IsNaN(util) { // zero-length epoch
-			util = float64(len(st.running)) / float64(st.servers)
-		}
+		// The controller sees load against the capacity actually on the
+		// floor: failed servers do not serve, so dividing by the configured
+		// count would understate utilization exactly when breakdowns make
+		// the control decision matter (see upUtilization).
+		util := st.upUtilization(st.epochBusy.MeanAt(now))
 		obs := Observation{
 			Time:        now,
 			Station:     st.idx,

@@ -1,6 +1,8 @@
 package sim
 
 import (
+	"math"
+
 	"clusterq/internal/power"
 	"clusterq/internal/queueing"
 	"clusterq/internal/stats"
@@ -107,6 +109,39 @@ func (s *simStation) bankSegment(run *serviceRun, now float64) {
 }
 
 func (s *simStation) freeServers() int { return s.servers - s.failed - len(s.running) }
+
+// upServers is the capacity actually on the floor: configured servers minus
+// those currently broken down.
+func (s *simStation) upServers() int { return s.servers - s.failed }
+
+// upUtilization converts a mean busy-server level into a utilization of the
+// UP servers — the denominator runtime sensors (the DVFS controller's epoch
+// observation, the window utilization samples, the shedding epoch) must use.
+// Dividing by the configured count instead understates load precisely while
+// servers are failed; Result.Tiers deliberately keeps the configured-capacity
+// denominator, which is the analytically comparable long-run view. A NaN
+// mean (zero-length measurement span) falls back to the instantaneous busy
+// count, and a station with every server down is maximally overloaded, not
+// idle.
+func (s *simStation) upUtilization(busyMean float64) float64 {
+	up := s.upServers()
+	if up <= 0 {
+		return 1
+	}
+	if math.IsNaN(busyMean) {
+		busyMean = float64(len(s.running))
+	}
+	return busyMean / float64(up)
+}
+
+// instUpUtilization is the instantaneous busy fraction of the up servers.
+func (s *simStation) instUpUtilization() float64 {
+	up := s.upServers()
+	if up <= 0 {
+		return 1
+	}
+	return float64(len(s.running)) / float64(up)
+}
 
 // enqueue adds a job to the station's waiting line at time now.
 func (s *simStation) enqueue(j *job, now float64) {

@@ -1,0 +1,350 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"clusterq/internal/cluster"
+	"clusterq/internal/obs"
+	"clusterq/internal/obs/trace"
+	"clusterq/internal/obs/window"
+	"clusterq/internal/queueing"
+)
+
+// stepCluster is the golden-hash cluster shape (two classes, one station).
+func stepCluster(servers int, disc queueing.Discipline) *cluster.Cluster {
+	classes := []cluster.Class{{Name: "hi", Lambda: 0.3}, {Name: "lo", Lambda: 0.4}}
+	demands := []queueing.Demand{{Work: 1, CV2: 1}, {Work: 1.5, CV2: 2}}
+	return oneTier(servers, 1, disc, classes, demands)
+}
+
+// TestStepEquivalenceGoldenBaseline pins the tentpole claim of the step
+// refactor: a step-driven replication is the SAME engine, so draining it
+// event by event must produce a bit-identical Result to the closed Run() on
+// the E1-style baseline config — including the probe's event counters.
+func TestStepEquivalenceGoldenBaseline(t *testing.T) {
+	quantiles := []float64{0.9, 0.95}
+	opts := Options{
+		Horizon:      3000,
+		Replications: 1,
+		Seed:         42,
+		Quantiles:    quantiles,
+		Probe:        &Probe{Period: 10},
+	}
+
+	closed, err := Run(stepCluster(2, queueing.NonPreemptive), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := hashResult(closed, quantiles)
+
+	// Drive the same replication three different ways; every stepping
+	// granularity must land on the same bits.
+	drive := map[string]func(r *Replication){
+		"event-by-event": func(r *Replication) {
+			for r.HasPendingEvents() {
+				if !r.ProcessNextEvent() {
+					t.Fatal("ProcessNextEvent returned false with events pending")
+				}
+			}
+		},
+		"advance-in-chunks": func(r *Replication) {
+			for tt := 100.0; tt <= opts.Horizon; tt += 100 {
+				r.AdvanceTo(tt)
+			}
+			r.AdvanceTo(math.Inf(1))
+		},
+		"drain": func(r *Replication) { r.Run() },
+	}
+	for name, fn := range drive {
+		rep, err := NewReplication(stepCluster(2, queueing.NonPreemptive), opts, opts.Seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fn(rep)
+		res, err := rep.Result()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := hashResult(res, quantiles); got != want {
+			t.Errorf("%s: stepped Result hash differs from closed Run:\n got %s\nwant %s", name, got, want)
+		}
+	}
+}
+
+// TestStepEquivalenceDegradedWithSensors repeats the equivalence check on an
+// E21-style config — breakdowns, deadlines and shedding all on — with the
+// flight recorder, window sensors and probe attached, the configuration an
+// online controller would actually step. Both the Result hash and the
+// sensors' final readings must match the closed run bit for bit.
+func TestStepEquivalenceDegradedWithSensors(t *testing.T) {
+	quantiles := []float64{0.9}
+	mkOpts := func() (Options, *trace.Recorder, *window.Set) {
+		rec := trace.NewRecorder(1 << 15)
+		win, err := window.NewSet(window.Config{Width: 200}, 2, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return Options{
+			Horizon:      1500,
+			Replications: 1,
+			Seed:         11,
+			Quantiles:    quantiles,
+			Probe:        &Probe{Period: 10},
+			Recorder:     rec,
+			Windows:      win,
+			Failures:     []*FailureConfig{{MTBF: 50, MTTR: 10}},
+			Deadlines: []*DeadlineConfig{
+				{Deadline: 8, MaxRetries: 2, RetryBackoff: 0.5},
+				{Deadline: 12},
+			},
+			Shedding: &SheddingConfig{Threshold: 0.9, Period: 25},
+		}, rec, win
+	}
+
+	optsA, recA, winA := mkOpts()
+	closed, err := Run(stepCluster(3, queueing.NonPreemptive), optsA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := hashResult(closed, quantiles)
+
+	optsB, recB, winB := mkOpts()
+	rep, err := NewReplication(stepCluster(3, queueing.NonPreemptive), optsB, optsB.Seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for rep.ProcessNextEvent() {
+	}
+	res, err := rep.Result()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := hashResult(res, quantiles); got != want {
+		t.Errorf("stepped Result hash differs from closed Run:\n got %s\nwant %s", got, want)
+	}
+	if a, b := len(recA.Spans()), len(recB.Spans()); a != b {
+		t.Errorf("recorder spans differ: closed %d, stepped %d", a, b)
+	}
+	ua, ub := winA.Utilization(optsA.Horizon, 0), winB.Utilization(optsB.Horizon, 0)
+	//lint:waive floateq reason="bit-identical window readings are the point of the equivalence test" until=2027-08-01
+	if ua != ub {
+		t.Errorf("window utilization differs: closed %v, stepped %v", ua, ub)
+	}
+}
+
+// TestClockNeverExceedsHorizon pins the peek-before-pop invariant: the old
+// loop popped the first past-horizon event, advancing calendar.now beyond
+// the horizon and dropping the event without recycling it. The stepper must
+// leave that event in the heap and keep the clock at or below the horizon
+// for the replication's entire life.
+func TestClockNeverExceedsHorizon(t *testing.T) {
+	opts := Options{Horizon: 500, Replications: 1, Seed: 3}
+	rep, err := NewReplication(stepCluster(2, queueing.NonPreemptive), opts, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	steps := 0
+	for rep.HasPendingEvents() {
+		rep.ProcessNextEvent()
+		steps++
+		if now := rep.Now(); now > opts.Horizon {
+			t.Fatalf("step %d: clock %g exceeded the horizon %g", steps, now, opts.Horizon)
+		}
+	}
+	if steps == 0 {
+		t.Fatal("replication processed no events")
+	}
+	// Arrivals always chain a next candidate, so a drained replication must
+	// still hold a future event — proof the loop peeked rather than popped.
+	next, ok := rep.PeekNextEventTime()
+	if !ok {
+		t.Fatal("calendar empty at the horizon; expected a pending past-horizon event")
+	}
+	if next <= opts.Horizon {
+		t.Fatalf("drained with an in-horizon event still pending at t=%g", next)
+	}
+	if rep.ProcessNextEvent() {
+		t.Fatal("ProcessNextEvent processed a past-horizon event")
+	}
+	if now := rep.Now(); now > opts.Horizon {
+		t.Fatalf("final clock %g exceeds the horizon %g", now, opts.Horizon)
+	}
+}
+
+// TestWarmupFinalizedWithoutPostWarmupEvents pins the degenerate-traffic
+// bugfix: when no event lands in [warmup, horizon), the event-driven warmup
+// reset never fires and the time-weighted busy/power statistics would keep
+// the transient. summarize must finalize the reset from the clock, so the
+// measured utilization excludes all pre-warmup service.
+func TestWarmupFinalizedWithoutPostWarmupEvents(t *testing.T) {
+	c := oneTier(1, 1, queueing.FCFS,
+		[]cluster.Class{{Name: "a", Lambda: 0.02}},
+		[]queueing.Demand{{Work: 1, CV2: 0}})
+	opts := Options{Horizon: 300, Warmup: 150, Replications: 1}
+	if err := opts.defaults(); err != nil {
+		t.Fatal(err)
+	}
+	// Scan seeds for the degenerate shape: at least one arrival served
+	// before the warmup boundary, then an inter-arrival gap so long the next
+	// candidate lands past the horizon. RNG streams are deterministic, so
+	// the seed found once is found forever.
+	for seed := uint64(0); seed < 2000; seed++ {
+		s, err := newSimulator(c, opts, seed, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.run()
+		if s.jobSeq == 0 || s.warmupDone {
+			continue
+		}
+		// Precondition established: traffic before warmup, silence after.
+		out := s.summarize()
+		if !s.warmupDone {
+			t.Error("summarize did not finalize the warmup reset")
+		}
+		if out.tierUtil[0] != 0 {
+			t.Errorf("seed %d: post-warmup utilization %g includes the pre-warmup transient, want 0",
+				seed, out.tierUtil[0])
+		}
+		if out.completed[0] != 0 {
+			t.Errorf("seed %d: %d completions counted from the transient", seed, out.completed[0])
+		}
+		return
+	}
+	t.Fatal("no seed under 2000 produced a pre-warmup-only run; loosen the scenario")
+}
+
+// TestUpUtilization pins the sensor denominator helper: utilization is load
+// against surviving capacity, NaN means fall back to the instantaneous busy
+// count, and a station with no up servers is maximally overloaded.
+func TestUpUtilization(t *testing.T) {
+	st := &simStation{servers: 4}
+	if got := st.upUtilization(1); got != 0.25 {
+		t.Errorf("no failures: upUtilization(1) = %g, want 0.25", got)
+	}
+	st.failed = 3
+	if got := st.upUtilization(1); got != 1 {
+		t.Errorf("3 of 4 failed: upUtilization(1) = %g, want 1", got)
+	}
+	st.failed = 4
+	if got := st.upUtilization(0); got != 1 {
+		t.Errorf("all failed: upUtilization(0) = %g, want 1 (overloaded, not idle)", got)
+	}
+	st.failed = 2
+	st.running = []*serviceRun{{}}
+	if got := st.upUtilization(math.NaN()); got != 0.5 {
+		t.Errorf("NaN mean: upUtilization = %g, want instantaneous 1/2", got)
+	}
+	if got := st.instUpUtilization(); got != 0.5 {
+		t.Errorf("instUpUtilization = %g, want 0.5", got)
+	}
+}
+
+// TestWindowUtilizationRisesDuringOutage is the breakdown regression the
+// divisor bugfix exists for: a saturated station whose servers keep failing.
+// The windowed utilization sensor — and the gauge bound to it — must read
+// the surviving servers as saturated (rise toward 1), not fall toward the
+// availability fraction the way the configured-capacity divisor did.
+func TestWindowUtilizationRisesDuringOutage(t *testing.T) {
+	c := oneTier(4, 1, queueing.FCFS,
+		[]cluster.Class{{Name: "a", Lambda: 6}}, // offered 6 >> degraded capacity
+		[]queueing.Demand{{Work: 1, CV2: 1}})
+	win, err := window.NewSet(window.Config{Width: 200}, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	win.Bind(reg)
+	opts := Options{
+		Horizon:      2000,
+		Warmup:       ZeroWarmup,
+		Replications: 1,
+		Seed:         9,
+		Probe:        &Probe{Period: 5},
+		Windows:      win,
+		// Availability 0.2: most of the run, most servers are down.
+		Failures: []*FailureConfig{{MTBF: 40, MTTR: 160}},
+	}
+	rep, err := NewReplication(c, opts, opts.Seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Early reading, before breakdowns accumulate: all servers up and busy.
+	rep.AdvanceTo(200)
+	early := win.Utilization(rep.Now(), 0)
+	rep.Run()
+	res, err := rep.Result()
+	if err != nil {
+		t.Fatal(err)
+	}
+	late := win.Utilization(opts.Horizon, 0)
+
+	if math.IsNaN(early) || math.IsNaN(late) {
+		t.Fatalf("window produced NaN readings (early %v, late %v)", early, late)
+	}
+	if late < 0.95 {
+		t.Errorf("deep in the outage the up servers are saturated: window utilization %g, want >= 0.95", late)
+	}
+	if late < early-0.02 {
+		t.Errorf("window utilization fell during the outage (early %g -> late %g); sensor is dividing by configured capacity", early, late)
+	}
+	if g := reg.Gauge("window_tier0_utilization", "").Value(); g < 0.95 {
+		t.Errorf("bound gauge reads %g during the outage, want >= 0.95", g)
+	}
+	// Result.Tiers deliberately keeps the configured-capacity denominator:
+	// with availability 0.2 it must sit far below the sensor reading.
+	if tu := res.Tiers[0].Utilization.Mean; tu > late-0.3 {
+		t.Errorf("Result.Tiers utilization %g should stay on configured capacity, well below the sensor's %g", tu, late)
+	}
+}
+
+// recordingPolicy captures every Observation the controller is handed.
+type recordingPolicy struct {
+	utils *[]float64
+	after float64
+}
+
+func (p recordingPolicy) Name() string { return "recording" }
+func (p recordingPolicy) Decide(o Observation) float64 {
+	if o.Time >= p.after {
+		*p.utils = append(*p.utils, o.Utilization)
+	}
+	return o.Speed
+}
+
+// TestControllerObservesUpUtilization pins the second bugfix site: the DVFS
+// controller's epoch observation. Under the same saturated outage, the
+// controller must see the surviving servers as loaded (mean utilization near
+// 1 once failures accumulate), not the availability-diluted fraction.
+func TestControllerObservesUpUtilization(t *testing.T) {
+	c := oneTier(4, 1, queueing.FCFS,
+		[]cluster.Class{{Name: "a", Lambda: 6}},
+		[]queueing.Demand{{Work: 1, CV2: 1}})
+	var utils []float64
+	opts := Options{
+		Horizon:       2000,
+		Warmup:        ZeroWarmup,
+		Replications:  1,
+		Seed:          9,
+		Controller:    recordingPolicy{utils: &utils, after: 1000},
+		ControlPeriod: 20,
+		Failures:      []*FailureConfig{{MTBF: 40, MTTR: 160}},
+	}
+	if _, err := Run(c, opts); err != nil {
+		t.Fatal(err)
+	}
+	if len(utils) == 0 {
+		t.Fatal("controller observed no late epochs")
+	}
+	var sum float64
+	for _, u := range utils {
+		sum += u
+	}
+	mean := sum / float64(len(utils))
+	// With availability 0.2 the configured-capacity divisor reads ~0.2 here;
+	// against up servers the saturated survivors read ~1.
+	if mean < 0.8 {
+		t.Errorf("controller's mean late-epoch utilization %g, want >= 0.8 (up-server denominator)", mean)
+	}
+}
