@@ -50,15 +50,15 @@ func (E10) Run(cfg Config) ([]*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	rF, err := sim.Run(fcfs, sim.Options{Horizon: horizon, Replications: reps, Seed: cfg.Seed + 10})
+	rF, err := sim.Run(fcfs, sim.Options{Horizon: horizon, Replications: reps, Seed: cfg.Seed + 10, Calendar: cfg.Calendar})
 	if err != nil {
 		return nil, err
 	}
-	rN, err := sim.Run(np, sim.Options{Horizon: horizon, Replications: reps, Seed: cfg.Seed + 11})
+	rN, err := sim.Run(np, sim.Options{Horizon: horizon, Replications: reps, Seed: cfg.Seed + 11, Calendar: cfg.Calendar})
 	if err != nil {
 		return nil, err
 	}
-	rP, err := sim.Run(pr, sim.Options{Horizon: horizon, Replications: reps, Seed: cfg.Seed + 12})
+	rP, err := sim.Run(pr, sim.Options{Horizon: horizon, Replications: reps, Seed: cfg.Seed + 12, Calendar: cfg.Calendar})
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,30 @@
+package sim
+
+// arrivals.go mirrors the batched arrival pregeneration: a refill loop that
+// takes many draws from the per-class stream is still ONE stream — draws are
+// not constructions and must stay silent. Minting a throwaway generator from
+// a draw inside the refill (a tempting "local RNG" shortcut) forks an
+// un-audited stream and is flagged.
+
+type arrivalQueue struct {
+	times [4]float64
+	n     int
+}
+
+// refillBatch is the canonical batched idiom: chunked draws, one stream.
+func refillBatch(q *arrivalQueue, r *RNG) {
+	for q.n < len(q.times) {
+		q.times[q.n] = float64(r.Uint64()) // a draw, not a stream: silent
+		q.n++
+	}
+}
+
+// refillForkedStream hand-rolls a per-refill generator from a draw: the new
+// stream's overlap with its parent is unaudited.
+func refillForkedStream(q *arrivalQueue, r *RNG) {
+	local := NewRNG(r.Uint64()) // want `NewRNG from a non-seed value constructs an un-audited RNG stream`
+	for q.n < len(q.times) {
+		q.times[q.n] = float64(local.Uint64())
+		q.n++
+	}
+}

@@ -78,6 +78,78 @@ func (s SquareWave) RateAt(t float64) float64 {
 // MaxRate implements Profile.
 func (s SquareWave) MaxRate() float64 { return s.High }
 
+// arrivalChunk is how many accepted arrivals refillArrivals pregenerates per
+// class per refill. One refill amortizes the profile-interface dispatch and
+// RNG state traffic over the whole chunk, and the highest-rate classes stop
+// paying a calendar round-trip per *candidate*: rejected candidates now cost
+// two RNG draws instead of a schedule/pop/recycle cycle.
+const arrivalChunk = 64
+
+// arrivalQueue is one class's ring of pregenerated accepted arrival times,
+// consumed lazily by handleArrival. Entries are absolute times, ascending;
+// next is the first candidate time not yet thinned, carried across refills
+// so the per-class RNG stream is consumed in exactly the order the
+// one-at-a-time generator consumed it.
+type arrivalQueue struct {
+	times [arrivalChunk]float64
+	head  int
+	n     int
+	next  float64
+}
+
+// pop removes and returns the earliest pending arrival time. The caller
+// guarantees the ring is non-empty (refilling first when needed).
+func (q *arrivalQueue) pop() float64 {
+	t := q.times[q.head]
+	q.head++
+	q.n--
+	if q.n == 0 {
+		q.head = 0
+	}
+	return t
+}
+
+// refillArrivals batch-generates the next chunk of accepted arrivals for
+// class k. Determinism is preserved draw for draw: the loop walks the same
+// candidate chain (t_{i+1} = t_i + Exp) and interleaves the thinning draws
+// exactly as the unbatched generator did — the successor's interarrival draw
+// precedes the current candidate's accept draw — so the per-class RNG stream
+// is consumed in the identical order and every accepted time is the
+// identical float. Constant-rate profiles never thin (RateAt == MaxRate, so
+// accept < 1 is false), which is why golden-hash runs are bit-identical.
+//
+// Generation stops at the chunk size or at the first candidate past the
+// horizon: that candidate (accepted or not) is kept when the ring is
+// otherwise empty, so the scheduled arrival chain always terminates in one
+// past-horizon event that is never processed — the invariant
+// TestClockNeverExceedsHorizon relies on. Over-drawing past the horizon is
+// harmless: each class owns its split RNG stream, so no other consumer's
+// draws shift.
+func (s *simulator) refillArrivals(k int) {
+	q := &s.arrQ[k]
+	q.head = 0 // only ever refilled when empty
+	prof := s.profiles[k]
+	maxRate := prof.MaxRate()
+	rng := s.arrRNG[k]
+	for q.n < arrivalChunk {
+		t := q.next
+		q.next = t + rng.Exp(maxRate)
+		// Thinning: the candidate becomes a real arrival with probability
+		// λ(t)/λ_max, yielding an exact non-homogeneous Poisson process.
+		ok := true
+		if accept := prof.RateAt(t) / maxRate; accept < 1 && rng.Float64() >= accept {
+			ok = false
+		}
+		if ok || (t > s.horizon && q.n == 0) {
+			q.times[q.n] = t
+			q.n++
+		}
+		if t > s.horizon {
+			return
+		}
+	}
+}
+
 // MeanRate returns the long-run average rate of a profile over one period
 // for the built-in shapes, or the constant rate. Used to pick fair static
 // baselines in experiments.

@@ -1,0 +1,165 @@
+package sim
+
+import (
+	"testing"
+)
+
+// driveCalendarsInLockstep runs the heap and ladder calendars through an
+// identical randomized workload — schedules (plain and gen-stamped, with
+// far-future, near-term, exactly-tied and exactly-now times), single pops,
+// and AdvanceTo-style drains — and asserts the pop sequences are element for
+// element identical in (time, seq) order, gen stamps included. ops bounds
+// the workload length so the fuzz harness stays fast.
+func driveCalendarsInLockstep(t *testing.T, seed uint64, ops int) {
+	t.Helper()
+	heap := newCalendarKind(CalendarHeap)
+	ladder := newCalendarKind(CalendarLadder)
+	rng := NewRNG(seed)
+	live := 0
+	pops := 0
+
+	popBoth := func() bool {
+		ht, hok := heap.peekTime()
+		lt, lok := ladder.peekTime()
+		if hok != lok || (hok && ht != lt) {
+			t.Fatalf("pop %d: peekTime diverged: heap (%v,%v) ladder (%v,%v)", pops, ht, hok, lt, lok)
+		}
+		he := heap.next()
+		le := ladder.next()
+		if (he == nil) != (le == nil) {
+			t.Fatalf("pop %d: heap nil=%v ladder nil=%v with %d live", pops, he == nil, le == nil, live)
+		}
+		if he == nil {
+			return false
+		}
+		if he.time != le.time || he.seq != le.seq || he.gen != le.gen || he.kind != le.kind {
+			t.Fatalf("pop %d diverged: heap (t=%v seq=%d gen=%d kind=%d) ladder (t=%v seq=%d gen=%d kind=%d)",
+				pops, he.time, he.seq, he.gen, he.kind, le.time, le.seq, le.gen, le.kind)
+		}
+		if heap.now != ladder.now {
+			t.Fatalf("pop %d: clocks diverged: heap %v ladder %v", pops, heap.now, ladder.now)
+		}
+		heap.recycle(he)
+		ladder.recycle(le)
+		live--
+		pops++
+		return true
+	}
+
+	schedule := func() {
+		// A mix biased toward the simulator's schedule-at-now+Δ pattern,
+		// with deliberate exact time ties so the seq tie-break is exercised
+		// on every run.
+		var at float64
+		switch rng.Uint64() % 5 {
+		case 0: // far future: exercises top and rung spawning
+			at = heap.now + rng.Float64()*1e4
+		case 1: // mid range
+			at = heap.now + rng.Float64()*100
+		case 2: // near term: exercises bottom inserts
+			at = heap.now + rng.Float64()
+		case 3: // exact tie grid: many bitwise-equal times
+			at = heap.now + float64(rng.Uint64()%16)
+		default: // exactly now: ordering is pure seq
+			at = heap.now
+		}
+		if rng.Uint64()%4 == 0 {
+			// The gen-stamped path deadlines use (scheduleGen): the stamp
+			// must ride along unperturbed for staleness checks to work.
+			gen := rng.Uint64() % 8
+			heap.scheduleGen(at, evTimeout, 0, nil, 0, gen)
+			ladder.scheduleGen(at, evTimeout, 0, nil, 0, gen)
+		} else {
+			heap.schedule(at, evArrival, 0, nil, 0, nil)
+			ladder.schedule(at, evArrival, 0, nil, 0, nil)
+		}
+		live++
+	}
+
+	for i := 0; i < ops; i++ {
+		switch op := rng.Uint64() % 10; {
+		case op < 5 || live == 0:
+			schedule()
+		case op < 8:
+			popBoth()
+		default:
+			// AdvanceTo-style drain: pop everything at or before a target
+			// time, exactly how the step engine and the shared-clock
+			// orchestrator consume the calendar.
+			target := heap.now + rng.Float64()*50
+			for {
+				et, ok := heap.peekTime()
+				if !ok || et > target {
+					break
+				}
+				popBoth()
+			}
+		}
+	}
+	// Drain completely: the tail must match too.
+	for popBoth() {
+	}
+	if live != 0 {
+		t.Fatalf("accounting bug in the test driver: %d live after full drain", live)
+	}
+	if !heap.empty() || !ladder.empty() {
+		t.Fatalf("calendars report non-empty after drain: heap %v ladder %v", !heap.empty(), !ladder.empty())
+	}
+}
+
+// TestLadderMatchesHeapPopOrder is the property test: across many seeds, the
+// ladder's pop sequence is bit-identical to the heap's on randomized
+// workloads. This is the whole determinism argument for Options.Calendar —
+// if pop order matches element for element, every downstream result matches
+// bit for bit.
+func TestLadderMatchesHeapPopOrder(t *testing.T) {
+	for seed := uint64(1); seed <= 50; seed++ {
+		driveCalendarsInLockstep(t, seed, 4000)
+	}
+}
+
+// TestLadderMatchesHeapLargeLiveSet pushes one big batch through both
+// schedulers so rung spawning (bucket > ladderThresh) and multi-level
+// re-bucketing actually trigger, including heavy exact-tie pileups.
+func TestLadderMatchesHeapLargeLiveSet(t *testing.T) {
+	heap := newCalendarKind(CalendarHeap)
+	ladder := newCalendarKind(CalendarLadder)
+	rng := NewRNG(99)
+	const n = 200000
+	for i := 0; i < n; i++ {
+		var at float64
+		if rng.Uint64()%3 == 0 {
+			at = float64(rng.Uint64() % 64) // massive equal-time pileups
+		} else {
+			at = rng.Float64() * 1000
+		}
+		heap.schedule(at, evArrival, 0, nil, 0, nil)
+		ladder.schedule(at, evArrival, 0, nil, 0, nil)
+	}
+	for i := 0; i < n; i++ {
+		he, le := heap.next(), ladder.next()
+		if he.time != le.time || he.seq != le.seq {
+			t.Fatalf("pop %d diverged: heap (t=%v seq=%d) ladder (t=%v seq=%d)",
+				i, he.time, he.seq, le.time, le.seq)
+		}
+		heap.recycle(he)
+		ladder.recycle(le)
+	}
+	if !ladder.empty() {
+		t.Fatal("ladder non-empty after full drain")
+	}
+}
+
+// FuzzLadderMatchesHeap lets the fuzzer search the workload space for a seed
+// whose pop sequences diverge. The corpus seeds cover the regimes the
+// property test already walks; `go test -fuzz FuzzLadderMatchesHeap` digs
+// further.
+func FuzzLadderMatchesHeap(f *testing.F) {
+	f.Add(uint64(1))
+	f.Add(uint64(7))
+	f.Add(uint64(42))
+	f.Add(uint64(0xdeadbeef))
+	f.Fuzz(func(t *testing.T, seed uint64) {
+		driveCalendarsInLockstep(t, seed, 1500)
+	})
+}

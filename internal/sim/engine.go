@@ -33,7 +33,39 @@ type event struct {
 	gen uint64
 }
 
-// eventHeap is a concrete binary min-heap of events ordered by (time, seq).
+// eventLess is the calendar's one total order: ascending time with the
+// sequence number as a deterministic tie-breaker. Every scheduler
+// implementation pops in exactly this order, which is why the calendar
+// choice cannot perturb results.
+func eventLess(a, b *event) bool {
+	//lint:waive floateq reason="deliberate exact compare: bitwise-equal times fall through to the seq tie-break" until=2027-08-01
+	if a.time != b.time {
+		return a.time < b.time
+	}
+	return a.seq < b.seq
+}
+
+// scheduler is the priority-structure half of the calendar: a multiset of
+// events popped in eventLess order. Two implementations exist — the binary
+// min-heap below (O(log n), cache-friendly at small live sets) and the
+// ladder queue in ladder.go (amortized O(1), wins at large live sets). Both
+// pop the identical (time, seq) sequence for any push sequence, so the
+// choice is purely a performance knob; the equivalence property/fuzz tests
+// in calendar_equiv_test.go pin this.
+type scheduler interface {
+	// push inserts e; the caller has already assigned e.time and e.seq.
+	push(e *event)
+	// pop removes and returns the eventLess-minimum event, nil when empty.
+	pop() *event
+	// peekTime reports the minimum event's time without removing it; ok is
+	// false when the scheduler is empty. Implementations may reorganize
+	// internal state, so peekTime is not safe for concurrent use.
+	peekTime() (float64, bool)
+	// size reports how many events are scheduled.
+	size() int
+}
+
+// eventHeap is a concrete binary min-heap of events ordered by eventLess.
 // It deliberately does not implement container/heap: the stdlib interface
 // boxes every Push/Pop operand through `any`, which heap-allocates one
 // escape per scheduled event. With concrete methods the sift loops stay
@@ -43,11 +75,7 @@ type event struct {
 type eventHeap []*event
 
 func (h eventHeap) less(i, j int) bool {
-	//lint:waive floateq reason="deliberate exact compare: bitwise-equal times fall through to the seq tie-break" until=2027-08-01
-	if h[i].time != h[j].time {
-		return h[i].time < h[j].time
-	}
-	return h[i].seq < h[j].seq
+	return eventLess(h[i], h[j])
 }
 
 // up sifts the element at index i toward the root.
@@ -82,18 +110,68 @@ func (h eventHeap) down(i int) {
 	}
 }
 
-// calendar wraps the heap with a monotone clock, sequence numbering, and an
-// event free list. Popped events are recycled via recycle(), so once the
-// heap and free list reach the replication's high-water mark the calendar
-// stops allocating: the live event set, not the event count, bounds memory.
-type calendar struct {
-	h    eventHeap
-	seq  uint64
-	now  float64
-	free []*event
+// push implements scheduler.
+func (h *eventHeap) push(e *event) {
+	*h = append(*h, e)
+	h.up(len(*h) - 1)
 }
 
-func newCalendar() *calendar { return &calendar{} }
+// pop implements scheduler.
+func (h *eventHeap) pop() *event {
+	s := *h
+	if len(s) == 0 {
+		return nil
+	}
+	e := s[0]
+	n := len(s) - 1
+	s[0] = s[n]
+	s[n] = nil
+	*h = s[:n]
+	if n > 0 {
+		h.down(0)
+	}
+	return e
+}
+
+// peekTime implements scheduler.
+func (h *eventHeap) peekTime() (float64, bool) {
+	if len(*h) == 0 {
+		return 0, false
+	}
+	return (*h)[0].time, true
+}
+
+// size implements scheduler.
+func (h *eventHeap) size() int { return len(*h) }
+
+// calendar wraps a scheduler with a monotone clock, sequence numbering, and
+// an event free list. Popped events are recycled via recycle(), so once the
+// scheduler and free list reach the replication's high-water mark the
+// calendar stops allocating: the live event set, not the event count, bounds
+// memory.
+type calendar struct {
+	sched scheduler
+	seq   uint64
+	now   float64
+	free  []*event
+}
+
+// newCalendar builds a calendar on the default scheduler (the binary heap).
+func newCalendar() *calendar { return newCalendarKind(CalendarHeap) }
+
+// newCalendarKind builds a calendar on the named scheduler: CalendarLadder
+// selects the ladder queue, anything else (including the zero value) the
+// binary heap — callers that bypass Options.defaults still get a working
+// calendar.
+func newCalendarKind(kind string) *calendar {
+	c := &calendar{}
+	if kind == CalendarLadder {
+		c.sched = newLadderQueue()
+	} else {
+		c.sched = new(eventHeap)
+	}
+	return c
+}
 
 // schedule enqueues a pooled event at absolute time t. The fields not used
 // by the kind are zeroed.
@@ -126,8 +204,7 @@ func (c *calendar) at(t float64, e *event) {
 	e.time = t
 	e.seq = c.seq
 	c.seq++
-	c.h = append(c.h, e)
-	c.h.up(len(c.h) - 1)
+	c.sched.push(e)
 }
 
 // peekTime reports the earliest scheduled event time without popping the
@@ -136,24 +213,14 @@ func (c *calendar) at(t float64, e *event) {
 // BEFORE committing the clock to it — popping first would advance now past
 // the horizon and strand the event outside the free list.
 func (c *calendar) peekTime() (float64, bool) {
-	if len(c.h) == 0 {
-		return 0, false
-	}
-	return c.h[0].time, true
+	return c.sched.peekTime()
 }
 
 // next pops the earliest event and advances the clock; nil when empty.
 func (c *calendar) next() *event {
-	if len(c.h) == 0 {
+	e := c.sched.pop()
+	if e == nil {
 		return nil
-	}
-	e := c.h[0]
-	n := len(c.h) - 1
-	c.h[0] = c.h[n]
-	c.h[n] = nil
-	c.h = c.h[:n]
-	if n > 0 {
-		c.h.down(0)
 	}
 	c.now = e.time
 	return e
@@ -167,4 +234,4 @@ func (c *calendar) recycle(e *event) {
 }
 
 // empty reports whether any events remain.
-func (c *calendar) empty() bool { return len(c.h) == 0 }
+func (c *calendar) empty() bool { return c.sched.size() == 0 }

@@ -1,0 +1,333 @@
+package sim
+
+import "math"
+
+// ladderQueue is the calendar's amortized-O(1) scheduler: a ladder queue
+// (Tang, Goh & Thng, "Ladder queue: An O(1) priority queue structure for
+// large-scale discrete event simulation", ACM TOMACS 2005) adapted to the
+// pooled *event calendar. Where the binary heap pays O(log n) sift work per
+// operation, the ladder spreads events into time buckets and only ever
+// sorts small near-term batches, so the per-event cost stays flat as the
+// live set grows — the property that lets fleet-scale replications keep the
+// event loop near its small-live-set speed.
+//
+// Structure, latest to earliest:
+//
+//   - top: an unsorted spill list for far-future events (time ≥ topStart),
+//     with its running min/max. Appending here is O(1).
+//   - rungs[0..nRungs-1]: bucketed time bands. Rung 0 is spawned from top;
+//     rung i+1 is spawned by re-bucketing an overfull current bucket of
+//     rung i, so deeper rungs cover ever-earlier, ever-narrower bands.
+//   - bottom: the sorted near-term batch, consumed in place through botPos.
+//
+// Pops drain bottom; when it empties, the deepest rung's next non-empty
+// bucket is either sorted into bottom (small bucket) or re-bucketed into a
+// deeper rung (overfull bucket), and when no rungs remain, top is poured
+// into a fresh rung 0. Pushes go to the latest structure whose band covers
+// the event's time, falling through to an ordered insert into bottom.
+//
+// Determinism: pop order is exactly eventLess order, bit-identical to the
+// heap's. Bucket indices are computed with a monotone float map (see
+// ladderRung.add), so an earlier time can never land in a later bucket;
+// equal times always share a bucket (same index) or arrive later with a
+// larger seq in a later structure, and every within-batch sort breaks time
+// ties by seq. The property/fuzz tests in calendar_equiv_test.go compare
+// pop sequences element for element against the heap.
+//
+// Allocation: bucket backing arrays, bottom and top are all reused across
+// refills (see initRung and the b[:0] truncations below), so like the heap
+// the ladder allocates only until the live set's high-water mark is reached
+// — the steady-state event loop stays allocation-free on either scheduler,
+// and TestSteadyStateAllocationsBounded gates both.
+type ladderQueue struct {
+	top            []*event
+	topStart       float64 // pushes at time ≥ topStart go to top
+	topMin, topMax float64 // running bounds of top's event times
+	rungs          [ladderMaxRungs]ladderRung
+	nRungs         int
+	bottom         []*event // sorted ascending by eventLess; bottom[botPos:] live
+	botPos         int
+	n              int // total live events across all structures
+}
+
+const (
+	// ladderThresh is the bucket size above which a refilled bucket is
+	// re-bucketed into a deeper rung instead of sorted straight into
+	// bottom — the knob bounding every sort the ladder ever does.
+	ladderThresh = 64
+	// ladderMaxRungs caps re-bucketing depth. Past it (equal-time pileups
+	// already bypass spawning, so only adversarial time distributions get
+	// here) buckets are sorted into bottom regardless of size.
+	ladderMaxRungs = 8
+)
+
+// ladderRung is one bucketed time band: bucket i spans
+// [start + i*width, start + (i+1)*width), with the last bucket absorbing
+// everything later (indices clamp down, never up past the end).
+type ladderRung struct {
+	start   float64
+	width   float64
+	cur     int // lowest non-consumed bucket
+	buckets [][]*event
+	count   int // live events in buckets[cur:]
+}
+
+// curStart is the left edge of the rung's current bucket: the earliest time
+// a push may still target this rung.
+func (r *ladderRung) curStart() float64 { return r.start + r.width*float64(r.cur) }
+
+// add buckets an event. The index map t ↦ int((t-start)/width) is monotone
+// non-decreasing in t (subtraction and division by a positive constant are
+// monotone under IEEE rounding, as is truncation), which is the load-bearing
+// property: an earlier time can never be filed after a later one, and equal
+// times always share a bucket. The clamps keep boundary-rounding stragglers
+// in range — and run before any float→int conversion, whose out-of-range
+// behavior Go leaves undefined.
+func (r *ladderRung) add(e *event) {
+	idx := r.cur
+	if f := (e.time - r.start) / r.width; f > float64(r.cur) {
+		if f >= float64(len(r.buckets)) {
+			idx = len(r.buckets) - 1
+		} else {
+			idx = int(f)
+		}
+	}
+	r.buckets[idx] = append(r.buckets[idx], e)
+	r.count++
+}
+
+func newLadderQueue() *ladderQueue {
+	return &ladderQueue{
+		topStart: math.Inf(-1), // first push always lands in top
+		topMin:   math.Inf(1),
+		topMax:   math.Inf(-1),
+	}
+}
+
+// push implements scheduler: file the event in the latest structure whose
+// band covers its time. Rung 0 holds the latest band and deeper rungs
+// strictly earlier ones, so the first rung whose current bucket starts at or
+// before the event's time is the right one.
+func (q *ladderQueue) push(e *event) {
+	q.n++
+	if e.time >= q.topStart {
+		q.top = append(q.top, e)
+		if e.time < q.topMin {
+			q.topMin = e.time
+		}
+		if e.time > q.topMax {
+			q.topMax = e.time
+		}
+		return
+	}
+	for i := 0; i < q.nRungs; i++ {
+		if r := &q.rungs[i]; e.time >= r.curStart() {
+			r.add(e)
+			return
+		}
+	}
+	q.bottomInsert(e)
+}
+
+// bottomInsert places an event into the live tail of the sorted bottom by
+// binary search. Only events earlier than every rung band get here — the
+// simulator's schedule-at-now±ε pattern — so the shifted suffix is short
+// (bounded by the last refilled batch, ≤ ladderThresh in the spawning
+// regime).
+func (q *ladderQueue) bottomInsert(e *event) {
+	lo, hi := q.botPos, len(q.bottom)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if eventLess(q.bottom[mid], e) {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	q.bottom = append(q.bottom, nil)
+	copy(q.bottom[lo+1:], q.bottom[lo:])
+	q.bottom[lo] = e
+}
+
+// pop implements scheduler.
+func (q *ladderQueue) pop() *event {
+	if q.n == 0 {
+		return nil
+	}
+	q.ensureBottom()
+	e := q.bottom[q.botPos]
+	q.bottom[q.botPos] = nil // drop the reference for the pool's sake
+	q.botPos++
+	q.n--
+	if q.botPos == len(q.bottom) {
+		q.bottom = q.bottom[:0]
+		q.botPos = 0
+	}
+	return e
+}
+
+// peekTime implements scheduler. Materializing the minimum may reorganize
+// rungs, but never changes pop order.
+func (q *ladderQueue) peekTime() (float64, bool) {
+	if q.n == 0 {
+		return 0, false
+	}
+	q.ensureBottom()
+	return q.bottom[q.botPos].time, true
+}
+
+// size implements scheduler.
+func (q *ladderQueue) size() int { return q.n }
+
+// ensureBottom refills bottom until it holds the global minimum. Callers
+// guarantee n > 0.
+func (q *ladderQueue) ensureBottom() {
+	for q.botPos == len(q.bottom) {
+		q.bottom = q.bottom[:0]
+		q.botPos = 0
+		if q.nRungs > 0 {
+			q.refillFromRung()
+			continue // the rung may have turned out exhausted
+		}
+		q.transferTop()
+	}
+}
+
+// refillFromRung consumes the deepest rung's next non-empty bucket: small
+// buckets sort into bottom, overfull ones re-bucket into a deeper rung
+// (unless all their times are equal, in which case subdividing cannot help
+// and a seq-ordered sort is already the answer).
+func (q *ladderQueue) refillFromRung() {
+	r := &q.rungs[q.nRungs-1]
+	for r.cur < len(r.buckets) && len(r.buckets[r.cur]) == 0 {
+		r.cur++
+	}
+	if r.cur == len(r.buckets) {
+		q.nRungs--
+		return
+	}
+	b := r.buckets[r.cur]
+	r.buckets[r.cur] = b[:0] // keep the backing array for the rung's next life
+	r.cur++
+	r.count -= len(b)
+	if len(b) > ladderThresh && q.nRungs < ladderMaxRungs {
+		minT, maxT := b[0].time, b[0].time
+		for _, e := range b[1:] {
+			if e.time < minT {
+				minT = e.time
+			}
+			if e.time > maxT {
+				maxT = e.time
+			}
+		}
+		// A positive width needs minT < maxT and must survive the division
+		// (a sub-ulp spread can round to zero); otherwise fall through to
+		// the sort.
+		if w := (maxT - minT) / float64(len(b)); w > 0 {
+			nr := q.initRung(q.nRungs, minT, w, len(b))
+			q.nRungs++
+			for _, e := range b {
+				nr.add(e)
+			}
+			return
+		}
+	}
+	q.bottom = append(q.bottom, b...)
+	sortEvents(q.bottom)
+}
+
+// transferTop pours the far-future spill list into a fresh rung 0 (or, when
+// its times are all equal or the spread vanishes, straight into bottom) and
+// advances topStart so future pushes beyond the poured band spill anew.
+// Precondition: no rungs, bottom consumed, top non-empty.
+func (q *ladderQueue) transferTop() {
+	q.topStart = q.topMax
+	if w := (q.topMax - q.topMin) / float64(len(q.top)); len(q.top) > 1 && w > 0 {
+		r := q.initRung(0, q.topMin, w, len(q.top))
+		q.nRungs = 1
+		for _, e := range q.top {
+			r.add(e)
+		}
+	} else {
+		q.bottom = append(q.bottom, q.top...)
+		sortEvents(q.bottom)
+	}
+	clear(q.top)
+	q.top = q.top[:0]
+	q.topMin = math.Inf(1)
+	q.topMax = math.Inf(-1)
+}
+
+// initRung readies rung slot i to cover [start, start+width*nb), reusing
+// both the bucket-slice table and every bucket backing array a previous
+// life of the slot left behind — the rung-level analogue of the event free
+// list, keeping steady-state refills allocation-free.
+func (q *ladderQueue) initRung(i int, start, width float64, nb int) *ladderRung {
+	r := &q.rungs[i]
+	r.start, r.width, r.cur, r.count = start, width, 0, 0
+	if cap(r.buckets) < nb {
+		old := r.buckets[:cap(r.buckets)]
+		r.buckets = make([][]*event, nb)
+		copy(r.buckets, old)
+	}
+	r.buckets = r.buckets[:nb]
+	for j := range r.buckets {
+		r.buckets[j] = r.buckets[j][:0]
+	}
+	return r
+}
+
+// sortEvents sorts ascending by eventLess: introsort-style quicksort with
+// median-of-three pivoting, recursing on the smaller half, finishing small
+// ranges by insertion sort. A concrete sort, because sort.Slice costs a
+// closure allocation plus interface dispatch per comparison — on the
+// refill path that would put allocations back into the steady-state event
+// loop the free lists got rid of. Keys are unique ((time, seq) with unique
+// seq), so equal-pivot pathologies cannot arise.
+func sortEvents(a []*event) {
+	for len(a) > 12 {
+		m := len(a) / 2
+		last := len(a) - 1
+		// Median-of-three: order a[0] ≤ a[m] ≤ a[last], pivot on a[m].
+		if eventLess(a[m], a[0]) {
+			a[m], a[0] = a[0], a[m]
+		}
+		if eventLess(a[last], a[0]) {
+			a[last], a[0] = a[0], a[last]
+		}
+		if eventLess(a[last], a[m]) {
+			a[last], a[m] = a[m], a[last]
+		}
+		pivot := a[m]
+		i, j := 0, last
+		for i <= j {
+			for eventLess(a[i], pivot) {
+				i++
+			}
+			for eventLess(pivot, a[j]) {
+				j--
+			}
+			if i <= j {
+				a[i], a[j] = a[j], a[i]
+				i++
+				j--
+			}
+		}
+		if j < len(a)-i {
+			sortEvents(a[:j+1])
+			a = a[i:]
+		} else {
+			sortEvents(a[i:])
+			a = a[:j+1]
+		}
+	}
+	for i := 1; i < len(a); i++ {
+		e := a[i]
+		j := i - 1
+		for j >= 0 && eventLess(e, a[j]) {
+			a[j+1] = a[j]
+			j--
+		}
+		a[j+1] = e
+	}
+}

@@ -14,6 +14,7 @@ type simulator struct {
 	c        *cluster.Cluster
 	cal      *calendar
 	arrRNG   []*RNG // one arrival stream per class
+	arrQ     []arrivalQueue
 	svcRNG   []*RNG // one service stream per station
 	stations []*simStation
 	routes   [][]int
@@ -90,7 +91,7 @@ func newSimulator(c *cluster.Cluster, o Options, seed uint64, record bool) (*sim
 	root := NewRNG(seed)
 	s := &simulator{
 		c:             c,
-		cal:           newCalendar(),
+		cal:           newCalendarKind(o.Calendar),
 		warmup:        o.Warmup,
 		warmupDone:    o.Warmup <= 0, // explicit zero warmup: never reset, measure from t=0
 		horizon:       o.Horizon,
@@ -216,11 +217,17 @@ func newSimulator(c *cluster.Cluster, o Options, seed uint64, record bool) (*sim
 			st.shedBusy.StartAt(0, 0)
 		}
 	}
-	// Prime one candidate arrival per class with a positive peak rate; the
-	// thinning step in handleArrival realizes the instantaneous rate.
+	// Prime the arrival machinery: per class, draw the first candidate time
+	// — the same first draw the one-at-a-time generator made — then batch-
+	// generate the first chunk of accepted arrivals (see refillArrivals) and
+	// schedule the earliest. Thinning happens at generation time now, so the
+	// calendar only ever carries accepted arrivals.
+	s.arrQ = make([]arrivalQueue, len(c.Classes))
 	for k := range c.Classes {
 		if s.profiles[k].MaxRate() > 0 {
-			s.cal.schedule(s.arrRNG[k].Exp(s.profiles[k].MaxRate()), evArrival, k, nil, 0, nil)
+			s.arrQ[k].next = s.arrRNG[k].Exp(s.profiles[k].MaxRate())
+			s.refillArrivals(k)
+			s.cal.schedule(s.arrQ[k].pop(), evArrival, k, nil, 0, nil)
 		}
 	}
 	// Prime the control loop.
@@ -319,15 +326,17 @@ func (s *simulator) endWarmup(now float64) {
 func (s *simulator) handleArrival(e *event) {
 	now := s.cal.now
 	k := e.class
-	// Schedule the next candidate arrival at the profile's peak rate.
-	prof := s.profiles[k]
-	s.cal.schedule(now+s.arrRNG[k].Exp(prof.MaxRate()), evArrival, k, nil, 0, nil)
-
-	// Thinning: a candidate becomes a real arrival with probability
-	// λ(t)/λ_max, yielding an exact non-homogeneous Poisson process.
-	if accept := prof.RateAt(now) / prof.MaxRate(); accept < 1 && s.arrRNG[k].Float64() >= accept {
-		return
+	// Schedule the next accepted arrival off the pregenerated ring, batch-
+	// refilling it when drained (see refillArrivals — thinning against the
+	// profile already happened at generation time, so there is no rejected-
+	// candidate path here and the calendar round-trip per rejected candidate
+	// is gone). Scheduling before any other work keeps the event sequence
+	// numbering identical to the one-at-a-time generator's.
+	q := &s.arrQ[k]
+	if q.n == 0 {
+		s.refillArrivals(k)
 	}
+	s.cal.schedule(q.pop(), evArrival, k, nil, 0, nil)
 
 	// Admission control: the current shed level refuses the lowest
 	// s.shedClasses classes before they enter (so they count as shed, not
