@@ -51,7 +51,7 @@ func driveCalendarsInLockstep(t *testing.T, seed uint64, ops int) {
 		// with deliberate exact time ties so the seq tie-break is exercised
 		// on every run.
 		var at float64
-		switch rng.Uint64() % 5 {
+		switch rng.Uint64() % 6 {
 		case 0: // far future: exercises top and rung spawning
 			at = heap.now + rng.Float64()*1e4
 		case 1: // mid range
@@ -60,6 +60,12 @@ func driveCalendarsInLockstep(t *testing.T, seed uint64, ops int) {
 			at = heap.now + rng.Float64()
 		case 3: // exact tie grid: many bitwise-equal times
 			at = heap.now + float64(rng.Uint64()%16)
+		case 4:
+			// Tight non-equal cluster: piles sub-bucket-width-apart times
+			// into one bucket so deep rungs spawn and, once drained, leave
+			// band gaps that later near-term pushes must not fall into
+			// (the exhausted-rung regime of TestLadderPushIntoExhaustedRung).
+			at = heap.now + 10 + rng.Float64()*0.01
 		default: // exactly now: ordering is pure seq
 			at = heap.now
 		}
@@ -147,6 +153,58 @@ func TestLadderMatchesHeapLargeLiveSet(t *testing.T) {
 	}
 	if !ladder.empty() {
 		t.Fatal("ladder non-empty after full drain")
+	}
+}
+
+// TestLadderPushIntoExhaustedRung drains a spawned rung to its last bucket
+// and then pushes into the gap between that rung's band end and the parent
+// rung's current bucket — the simulator's normal schedule-at-now+Δ pattern,
+// landing between the pop that consumed a rung's final bucket and the next
+// pop. An exhausted rung must never capture such a push: before the eager
+// removal in refillFromRung (and the exhausted-rung skip in push) the event
+// was filed into the rung's already-consumed last bucket and silently
+// dropped when the rung was lazily removed, leaving the queue overcounting
+// and eventually spinning in ensureBottom.
+func TestLadderPushIntoExhaustedRung(t *testing.T) {
+	lq := newCalendarKind(CalendarLadder)
+	// 100 events clustered in [10, 10.1) plus one far event at t=100: the
+	// first pop pours top into rung 0, whose bucket holding the cluster
+	// overflows ladderThresh and spawns a deeper rung covering the cluster.
+	for i := 0; i < 100; i++ {
+		lq.schedule(10+float64(i)*0.001, evArrival, 0, nil, 0, nil)
+	}
+	lq.schedule(100, evArrival, 0, nil, 0, nil)
+	// Drain the cluster completely: the spawned rung's last bucket is
+	// consumed on the final pop, leaving the rung exhausted but (before the
+	// fix) still present until the next refill.
+	for i := 0; i < 100; i++ {
+		e := lq.next()
+		if e == nil {
+			t.Fatalf("pop %d: nil with %d scheduled", i, lq.sched.size())
+		}
+		if want := 10 + float64(i)*0.001; e.time != want {
+			t.Fatalf("pop %d: got t=%v, want %v", i, e.time, want)
+		}
+		lq.recycle(e)
+	}
+	// t=10.5 is past the drained rung's band yet before the parent rung's
+	// current bucket: it must pop next, not vanish into the exhausted rung.
+	lq.schedule(10.5, evArrival, 0, nil, 0, nil)
+	if n := lq.sched.size(); n != 2 {
+		t.Fatalf("size after push: got %d, want 2", n)
+	}
+	e := lq.next()
+	if e == nil || e.time != 10.5 {
+		t.Fatalf("pop after push into rung gap: got %v, want t=10.5", e)
+	}
+	lq.recycle(e)
+	e = lq.next()
+	if e == nil || e.time != 100 {
+		t.Fatalf("final pop: got %v, want t=100", e)
+	}
+	lq.recycle(e)
+	if !lq.empty() {
+		t.Fatalf("ladder non-empty after full drain: %d left", lq.sched.size())
 	}
 }
 

@@ -92,6 +92,13 @@ func (r *ladderRung) add(e *event) {
 			idx = int(f)
 		}
 	}
+	if idx >= len(r.buckets) {
+		// Defensive: push skips exhausted rungs, so cur < len(buckets) here;
+		// should that invariant ever break, clamp instead of indexing past
+		// the table (refillFromRung re-consumes the last bucket when count
+		// says it is non-empty, so a clamped straggler still pops).
+		idx = len(r.buckets) - 1
+	}
 	r.buckets[idx] = append(r.buckets[idx], e)
 	r.count++
 }
@@ -121,7 +128,16 @@ func (q *ladderQueue) push(e *event) {
 		return
 	}
 	for i := 0; i < q.nRungs; i++ {
-		if r := &q.rungs[i]; e.time >= r.curStart() {
+		r := &q.rungs[i]
+		if r.cur >= len(r.buckets) {
+			// Exhausted rung awaiting lazy removal (a spawn consumed its
+			// last bucket): it has no band left, and filing into it would
+			// lose the event when the rung is dropped. Fall through — the
+			// next structure covering the time is a deeper rung's clamped
+			// last bucket or the sorted bottom, both order-correct.
+			continue
+		}
+		if e.time >= r.curStart() {
 			r.add(e)
 			return
 		}
@@ -202,9 +218,16 @@ func (q *ladderQueue) refillFromRung() {
 	for r.cur < len(r.buckets) && len(r.buckets[r.cur]) == 0 {
 		r.cur++
 	}
-	if r.cur == len(r.buckets) {
-		q.nRungs--
-		return
+	if r.cur >= len(r.buckets) {
+		if r.count > 0 {
+			// Defensive: only add's clamp can file into a consumed last
+			// bucket; rewind so the straggler pops instead of being dropped
+			// with the rung.
+			r.cur = len(r.buckets) - 1
+		} else {
+			q.nRungs--
+			return
+		}
 	}
 	b := r.buckets[r.cur]
 	r.buckets[r.cur] = b[:0] // keep the backing array for the rung's next life
@@ -224,6 +247,10 @@ func (q *ladderQueue) refillFromRung() {
 		// (a sub-ulp spread can round to zero); otherwise fall through to
 		// the sort.
 		if w := (maxT - minT) / float64(len(b)); w > 0 {
+			// The spawn may have consumed the parent's last bucket; the
+			// parent cannot be removed here (the child takes the deepest
+			// slot), so push skips it by its cur == len(buckets) mark and
+			// the check above drops it once the child drains.
 			nr := q.initRung(q.nRungs, minT, w, len(b))
 			q.nRungs++
 			for _, e := range b {
@@ -231,6 +258,12 @@ func (q *ladderQueue) refillFromRung() {
 			}
 			return
 		}
+	}
+	if r.cur == len(r.buckets) {
+		// The rung's last bucket is consumed: remove the rung eagerly so a
+		// push between now and the next refill can never target its dead
+		// band (events filed there would be dropped with the rung).
+		q.nRungs--
 	}
 	q.bottom = append(q.bottom, b...)
 	sortEvents(q.bottom)

@@ -35,11 +35,14 @@ const (
 	CalendarLadder = "ladder"
 )
 
-// calendarEnv reads the CLUSTERQ_CALENDAR override once per process. The
-// environment variable exists so a whole test suite or experiment batch can
-// be re-run on the other calendar without threading an option through every
-// construction site (CI runs the E1 smoke and the allocation gate this way).
-var calendarEnv = sync.OnceValue(func() string { return os.Getenv("CLUSTERQ_CALENDAR") })
+// calendarEnv reads the CLUSTERQ_CALENDAR override. The environment variable
+// exists so a whole test suite or experiment batch can be re-run on the other
+// calendar without threading an option through every construction site (CI
+// runs the E1 smoke and the allocation gate this way). It is read afresh on
+// every defaults() call — once per Run, nowhere near any hot path — so
+// t.Setenv in a later test is honored even after an earlier test resolved
+// options.
+func calendarEnv() string { return os.Getenv("CLUSTERQ_CALENDAR") }
 
 // Options configures a simulation experiment.
 type Options struct {
