@@ -1,7 +1,7 @@
 package clusterq
 
 // The benchmark harness: one testing.B benchmark per reconstructed table and
-// figure (E1–E21, see DESIGN.md), each running the corresponding experiment
+// figure (E1–E23, see DESIGN.md), each running the corresponding experiment
 // in quick mode so `go test -bench=.` regenerates every evaluation artifact's
 // code path and reports its cost. Micro-benchmarks for the three hot layers
 // (analytic evaluation, simulation, optimization) follow.
@@ -93,6 +93,13 @@ func BenchmarkE21Failures(b *testing.B) { benchExperiment(b, "E21") }
 
 // Extension: shared-clock heterogeneous fleet orchestration.
 func BenchmarkE22Fleet(b *testing.B) { benchExperiment(b, "E22") }
+
+// Extension: transient autoscaling — static plan vs reactive vs
+// model-driven controller on time-varying arrivals. The costliest
+// experiment benchmark: nine transient runs (three scenarios × three
+// controllers), each with per-epoch C3b re-solves for the model arm.
+// Reference cost lives in results/BENCH_control.json.
+func BenchmarkE23Autoscaler(b *testing.B) { benchExperiment(b, "E23") }
 
 // BenchmarkMinimizeEnergyDual measures the decomposed C3a solve — the
 // production path for aggregate bounds.

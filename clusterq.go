@@ -23,6 +23,7 @@ package clusterq
 
 import (
 	"clusterq/internal/cluster"
+	"clusterq/internal/control"
 	"clusterq/internal/core"
 	"clusterq/internal/obs"
 	"clusterq/internal/obs/trace"
@@ -107,6 +108,18 @@ type (
 	// SheddingConfig enables priority-aware admission control
 	// (SimOptions.Shedding).
 	SheddingConfig = sim.SheddingConfig
+	// Schedule is a piecewise-constant multi-period rate profile
+	// (staircases, business-hours patterns); build with NewSchedule.
+	Schedule = sim.Schedule
+	// PlanController re-plans the whole cluster once per control epoch
+	// via SimOptions.PlanController (see DESIGN.md "Online control").
+	PlanController = sim.PlanController
+	// PlanObservation is the epoch snapshot handed to a PlanController:
+	// per-tier observations plus windowed per-class rate estimates.
+	PlanObservation = sim.PlanObservation
+	// PlanDecision is a plan-level retune order (per-tier speeds and
+	// effective server counts); the zero value holds every knob.
+	PlanDecision = sim.PlanDecision
 )
 
 // ZeroWarmup requests a simulation with no warmup discard (an explicit
@@ -178,6 +191,8 @@ var (
 	NewSinusoid = sim.NewSinusoid
 	// NewSquareWave builds a day/night step profile.
 	NewSquareWave = sim.NewSquareWave
+	// NewSchedule builds a validated piecewise-constant rate schedule.
+	NewSchedule = sim.NewSchedule
 )
 
 // ServiceDist describes a service- or setup-time distribution through its
@@ -290,6 +305,39 @@ var (
 // validation path) and aggregates replications into confidence intervals.
 func Simulate(c *Cluster, o SimOptions) (*SimResult, error) { return sim.Run(c, o) }
 
+// Online control (see DESIGN.md "Online control"): the model-driven
+// autoscaler re-estimates per-class arrival rates from window sensors each
+// control epoch and re-runs the paper's solvers at the live estimates.
+type (
+	// Autoscaler is the model-driven PlanController.
+	Autoscaler = control.Controller
+	// AutoscalerConfig parameterizes the autoscaler (objective, smoothing,
+	// deadband, safety margin, solver options).
+	AutoscalerConfig = control.Config
+	// AutoscalerObjective selects which problem the autoscaler re-solves:
+	// ObjectiveEnergySLA (C3b), ObjectiveEnergyAggregate (C3a),
+	// ObjectiveDelayBudget (C2), or ObjectiveCostServers (C4).
+	AutoscalerObjective = control.Objective
+	// AutoscalerStats counts the autoscaler's solves, deadband holds, and
+	// infeasible-solve fallbacks.
+	AutoscalerStats = control.Stats
+)
+
+// Autoscaler objectives.
+const (
+	ObjectiveEnergySLA       = control.EnergySLA
+	ObjectiveEnergyAggregate = control.EnergyAggregate
+	ObjectiveDelayBudget     = control.DelayBudget
+	ObjectiveCostServers     = control.CostServers
+)
+
+// NewAutoscaler validates the config against the cluster and returns the
+// model-driven controller; attach it via SimOptions.PlanController with a
+// WindowSet in SimOptions.Windows and a positive SimOptions.ControlPeriod.
+func NewAutoscaler(c *Cluster, cfg AutoscalerConfig) (*Autoscaler, error) {
+	return control.New(c, cfg)
+}
+
 // Scenario constructors.
 var (
 	// Enterprise3Tier builds the canonical web→app→db scenario with
@@ -301,6 +349,16 @@ var (
 	ScaleArrivals = workload.ScaleArrivals
 	// CapacityFraction rescales arrivals to a bottleneck utilization.
 	CapacityFraction = workload.CapacityFraction
+	// DiurnalProfiles builds per-class sinusoidal profiles around a
+	// scenario's nominal rates (transient control scenarios).
+	DiurnalProfiles = workload.DiurnalProfiles
+	// FlashCrowdProfiles builds per-class square-wave spike profiles.
+	FlashCrowdProfiles = workload.FlashCrowdProfiles
+	// StaircaseProfiles builds per-class cycling staircase profiles.
+	StaircaseProfiles = workload.StaircaseProfiles
+	// PeakFactor is the peak-to-nominal ratio of a profile set — what an
+	// honest peak-provisioned static baseline is solved at.
+	PeakFactor = workload.PeakFactor
 )
 
 // ParseConfig builds a cluster from a JSON description (see

@@ -7,6 +7,9 @@
 //	simrun -config cluster.json [-horizon 30000] [-reps 5] [-seed 0] [-q 0.95]
 //	       [-swing 0.5 -period 5000]      # diurnal sinusoidal load
 //	       [-reactive 0.7 -epoch 20]      # runtime DVFS controller
+//	       [-controller model -control-period 100]  # operating strategy: static|reactive|model
+//	                                      # (model = online autoscaler re-solving the energy/SLA
+//	                                      # plan each epoch from window estimates; 1 replication)
 //	       [-sleep 2.0 -sleep-watts 20]   # instant-off sleep on every tier
 //	       [-mtbf 100 -mttr 5]            # server breakdown/repair on every tier
 //	       [-deadline 10 -max-retries 2 -retry-backoff 0.5]  # timeout–retry–abandon, all classes
@@ -41,6 +44,7 @@ import (
 	"time"
 
 	"clusterq/internal/cluster"
+	"clusterq/internal/control"
 	"clusterq/internal/obs"
 	"clusterq/internal/obs/trace"
 	"clusterq/internal/obs/window"
@@ -62,6 +66,9 @@ func main() {
 
 		reactive = flag.Float64("reactive", 0, "enable the reactive DVFS controller with this utilization target (0 disables)")
 		epoch    = flag.Float64("epoch", 20, "controller epoch in simulated seconds")
+
+		controller    = flag.String("controller", "", "operating strategy: static (no runtime control), reactive (utilization-target DVFS, target from -reactive or 0.7), or model (model-driven autoscaler re-solving the energy/SLA plan each epoch against window estimates; forces 1 replication)")
+		controlPeriod = flag.Float64("control-period", 0, "control epoch in simulated seconds for -controller (default: -epoch)")
 
 		sleepSetup = flag.Float64("sleep", 0, "enable instant-off sleep on every tier with this mean setup time (0 disables)")
 		sleepWatts = flag.Float64("sleep-watts", 0, "per-server power while asleep (with -sleep)")
@@ -144,6 +151,7 @@ func main() {
 			{"-window", *winWidth > 0},
 			{"-http", *httpAddr != ""},
 			{"-progress", *progress},
+			{"-controller=model", *controller == "model"},
 		} {
 			if f.set {
 				fatal(fmt.Errorf("%s is a single-run surface; it cannot combine with -fleet", f.name))
@@ -260,10 +268,63 @@ func main() {
 		}
 		fmt.Printf("diurnal load: ±%.0f%% swing, period %.4g s\n", 100**swing, *period)
 	}
-	if *reactive > 0 {
-		opts.Controller = sim.UtilizationPolicy{Target: *reactive}
-		opts.ControlPeriod = *epoch
-		fmt.Printf("reactive DVFS: target utilization %.2f, epoch %.4g s\n", *reactive, *epoch)
+	// Operating strategy. -controller is the umbrella flag; the original
+	// -reactive spelling keeps working when -controller is unset.
+	ctlPeriod := *controlPeriod
+	if ctlPeriod <= 0 {
+		ctlPeriod = *epoch
+	}
+	var modelCtl *control.Controller
+	switch *controller {
+	case "":
+		if *reactive > 0 {
+			opts.Controller = sim.UtilizationPolicy{Target: *reactive}
+			opts.ControlPeriod = ctlPeriod
+			fmt.Printf("reactive DVFS: target utilization %.2f, epoch %.4g s\n", *reactive, ctlPeriod)
+		}
+	case "static":
+		if *reactive > 0 {
+			fatal(fmt.Errorf("-controller=static contradicts -reactive %g", *reactive))
+		}
+	case "reactive":
+		target := *reactive
+		if target <= 0 {
+			target = 0.7
+		}
+		opts.Controller = sim.UtilizationPolicy{Target: target}
+		opts.ControlPeriod = ctlPeriod
+		fmt.Printf("reactive DVFS: target utilization %.2f, epoch %.4g s\n", target, ctlPeriod)
+	case "model":
+		if *reactive > 0 {
+			fatal(fmt.Errorf("-controller=model contradicts -reactive %g", *reactive))
+		}
+		ctl, err := control.New(c, control.Config{Objective: control.EnergySLA})
+		if err != nil {
+			fatal(fmt.Errorf("-controller=model: %w (the model controller re-solves the energy/SLA plan, so the config needs SLA mean-delay bounds)", err))
+		}
+		modelCtl = ctl
+		opts.PlanController = ctl
+		opts.ControlPeriod = ctlPeriod
+		if opts.Windows == nil {
+			// The autoscaler estimates arrival rates from the window
+			// sensors; attach a set sized to the control epoch when the
+			// user did not configure one with -window.
+			w, err := window.NewSet(window.Config{Width: ctlPeriod}, len(c.Classes), len(c.Tiers))
+			if err != nil {
+				fatal(err)
+			}
+			if reg != nil {
+				w.Bind(reg)
+			}
+			opts.Windows = w
+		}
+		if opts.Replications != 1 {
+			opts.Replications = 1
+			fmt.Println("model controller: single replication (the controller is stateful across epochs)")
+		}
+		fmt.Printf("model-driven autoscaler: objective %v, epoch %.4g s\n", control.EnergySLA, ctlPeriod)
+	default:
+		fatal(fmt.Errorf("-controller must be static, reactive or model, got %q", *controller))
 	}
 	if *sleepSetup > 0 {
 		opts.Sleep = make([]*sim.SleepConfig, len(c.Tiers))
@@ -318,7 +379,7 @@ func main() {
 	}
 
 	fmt.Printf("simulated %d replications of %.4g s (warmup %.4g s)\n\n",
-		*reps, *horizon, *horizon*0.1)
+		opts.Replications, *horizon, *horizon*0.1)
 	fmt.Println("per-class mean end-to-end delay (s):")
 	for k, cl := range c.Classes {
 		line := fmt.Sprintf("  %-10s model %8.4g   sim %8.4g ±%.3g  (err %.1f%%)",
@@ -345,6 +406,15 @@ func main() {
 	for k, cl := range c.Classes {
 		fmt.Printf("  %-10s model %8.4g   sim %8.4g ±%.3g\n",
 			cl.Name, m.EnergyPerRequest[k], res.EnergyPerRequest[k].Mean, res.EnergyPerRequest[k].HalfW)
+	}
+
+	if modelCtl != nil {
+		est := modelCtl.Estimates()
+		fmt.Printf("\nautoscaler: %v; final rate estimates", modelCtl.Stats())
+		for k, cl := range c.Classes {
+			fmt.Printf("  %s %.4g/s (nominal %.4g)", cl.Name, est[k], cl.Lambda)
+		}
+		fmt.Println()
 	}
 
 	if opts.Failures != nil || opts.Deadlines != nil || opts.Shedding != nil {

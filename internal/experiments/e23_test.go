@@ -1,0 +1,25 @@
+package experiments
+
+import "testing"
+
+// TestE23ModelBeatsStatic pins the experiment's headline claim (and ISSUE
+// 10's acceptance criterion): on at least one transient scenario the
+// model-driven controller must beat the peak-provisioned static plan on
+// energy at equal-or-better SLA misses.
+func TestE23ModelBeatsStatic(t *testing.T) {
+	rows, err := e23Rows(quickCfg())
+	for _, r := range rows {
+		extra := ""
+		if r.model {
+			extra = " " + r.stats.String()
+		}
+		t.Logf("%-12s %-8s power=%.1fW weighted=%.3fs misses=%d worst=%.2f%s",
+			r.scenario, r.strategy, r.power, r.weighted, r.misses, r.worstFrac, extra)
+	}
+	if err != nil {
+		t.Fatalf("e23Rows: %v", err)
+	}
+	if !e23ModelWins(rows) {
+		t.Fatal("model controller beat the static plan on no scenario")
+	}
+}

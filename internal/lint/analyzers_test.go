@@ -13,6 +13,7 @@ func TestSimDeterm(t *testing.T) {
 	linttest.Run(t, fixtures, lint.SimDeterm,
 		"simdeterm/internal/sim",
 		"simdeterm/internal/sim/multi",
+		"simdeterm/internal/control",
 		"simdeterm/other", // out of scope: the wall-clock read there must pass
 	)
 }
@@ -45,7 +46,10 @@ func TestMapIter(t *testing.T) {
 }
 
 func TestRNGStream(t *testing.T) {
-	linttest.Run(t, fixtures, lint.RNGStream, "rngstream/internal/sim")
+	linttest.Run(t, fixtures, lint.RNGStream,
+		"rngstream/internal/sim",
+		"rngstream/internal/control",
+	)
 }
 
 // hotallocTranscript is a canned `go build -gcflags=-m=2` output for the

@@ -29,7 +29,7 @@ var RNGStream = &Analyzer{
 	Name: "rngstream",
 	Doc: "RNG streams must be created via the split helper (or a seed), " +
 		"appended after existing streams, and never shared across goroutines",
-	Scope: []string{"internal/sim"},
+	Scope: []string{"internal/sim", "internal/control"},
 	Run:   runRNGStream,
 }
 

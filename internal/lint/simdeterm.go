@@ -17,7 +17,7 @@ var SimDeterm = &Analyzer{
 	Name: "simdeterm",
 	Doc: "forbid wall-clock time, the global math/rand stream, and " +
 		"order-sensitive map iteration in simulation packages",
-	Scope: []string{"internal/sim", "internal/sim/multi", "internal/core"},
+	Scope: []string{"internal/sim", "internal/sim/multi", "internal/core", "internal/control"},
 	Run:   runSimDeterm,
 }
 

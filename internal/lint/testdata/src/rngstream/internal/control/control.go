@@ -1,0 +1,51 @@
+// The autoscaler corpus: internal/control draws no randomness by contract,
+// and the rngstream scope extension makes sure any stream that ever appears
+// there follows the split discipline. The cases mirror the sim corpus in
+// controller shape: a per-epoch jitter stream minted from another stream's
+// draws, an indexed registry store, and a generator captured by a worker.
+package control
+
+import (
+	"math/rand"
+
+	"rngstream/internal/sim"
+)
+
+type epochState struct {
+	jitter []*sim.RNG
+}
+
+// Minting a stream from an existing stream's draw is an un-audited split.
+func mintFromDraw(r *sim.RNG) *rand.Rand {
+	return rand.New(rand.NewSource(int64(r.Uint64()))) // want `rand\.New from a non-seed value` `rand\.NewSource from a non-seed value`
+}
+
+// Seed-derived construction is the audited entry point: silent.
+func mintFromConfig(seed int64) rand.Source {
+	return rand.NewSource(seed)
+}
+
+// Split results are append-only; an indexed store reorders every stream
+// split after it.
+func storeByIndex(s *epochState, root *sim.RNG) {
+	s.jitter[0] = root.Split() // want `RNG stream stored by index`
+}
+
+func appendStream(s *epochState, root *sim.RNG) {
+	s.jitter = append(s.jitter, root.Split()) // the canonical idiom: silent
+}
+
+// A generator captured by a spawned worker is a shared stream and a race.
+func captureAcrossSpawn(root *sim.RNG, done chan struct{}) {
+	go func() {
+		_ = root.Uint64() // want `RNG "root" is shared across goroutines`
+		close(done)
+	}()
+}
+
+func splitBeforeSpawn(root *sim.RNG, done chan struct{}) {
+	go func(r *sim.RNG) { // the split happens before the spawn: silent
+		_ = r.Uint64()
+		close(done)
+	}(root.Split())
+}

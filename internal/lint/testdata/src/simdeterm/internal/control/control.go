@@ -1,0 +1,49 @@
+// The autoscaler corpus: internal/control's determinism contract says plan
+// decisions are pure functions of the observation stream, so the package
+// sits inside the simdeterm scope. These are the violations the scope
+// extension must catch in controller-shaped code.
+package control
+
+import (
+	"math/rand"
+	"time"
+)
+
+type planner struct{ est map[string]float64 }
+
+// Timing a solve with the wall clock leaks real time into the decision.
+func timedSolve(p *planner) time.Duration {
+	t0 := time.Now()      // want `time\.Now reads the wall clock`
+	_ = len(p.est)        // stand-in for the solver call
+	return time.Since(t0) // want `time\.Since reads the wall clock`
+}
+
+// Jittering a decision from the global stream breaks bit-reproducibility.
+func jitteredSpeed(speed float64) float64 {
+	return speed * (1 + 0.01*rand.Float64()) // want `rand\.Float64 uses the global math/rand stream`
+}
+
+// Folding estimates out of a map makes the rounding depend on map order.
+func totalEstimate(p *planner) float64 {
+	var lam float64
+	for _, v := range p.est {
+		lam += v // want `float accumulation across a map range`
+	}
+	return lam
+}
+
+// The audited shape: estimates live in a class-indexed slice, so the fold
+// order is fixed.
+func totalEstimateSlice(est []float64) float64 {
+	var lam float64
+	for _, v := range est {
+		lam += v
+	}
+	return lam
+}
+
+// A seeded private generator is allowed (construction discipline is
+// rngstream's to police).
+func seededProbe(seed int64) float64 {
+	return rand.New(rand.NewSource(seed)).Float64()
+}

@@ -1,0 +1,83 @@
+package window
+
+import (
+	"math"
+	"testing"
+)
+
+// TestRateAccessor pins the controller-facing Rate contract: NaN while the
+// window has no coverage (nothing has advanced it yet), the windowed arrival
+// rate once it does, and NaN for nil sets and out-of-range classes — the
+// "no estimate" signal the autoscaler's EWMA skips.
+func TestRateAccessor(t *testing.T) {
+	s := mustSet(t, Config{Width: 10, Buckets: 10}, 2, 0)
+	if got := s.Rate(0, 0); !math.IsNaN(got) {
+		t.Errorf("rate with no coverage = %g, want NaN", got)
+	}
+	for i := 0; i < 100; i++ {
+		s.ObserveArrival(float64(i)*0.2, 0) // 5/s on class 0 only
+	}
+	if got := s.Rate(19.99, 0); math.Abs(got-5) > 0.5 {
+		t.Errorf("rate = %g, want ≈5", got)
+	}
+	// Class 1 saw no arrivals: that is a genuine estimate of 0 (coverage is
+	// a function of elapsed time, not of observations), distinct from the
+	// t=0 "no coverage" NaN above.
+	if got := s.Rate(19.99, 1); got != 0 {
+		t.Errorf("untouched class rate = %g, want 0", got)
+	}
+	if !math.IsNaN(s.Rate(19.99, -1)) || !math.IsNaN(s.Rate(19.99, 7)) {
+		t.Error("out-of-range class rate not NaN")
+	}
+	var nilSet *Set
+	if !math.IsNaN(nilSet.Rate(1, 0)) {
+		t.Error("nil set rate not NaN")
+	}
+}
+
+// TestRatesFillsDst pins the bulk accessor: dst is NaN-filled first, then
+// every in-range class gets its estimate, so a cluster-sized dst against a
+// smaller (or nil) set reads as "no estimate" uniformly.
+func TestRatesFillsDst(t *testing.T) {
+	s := mustSet(t, Config{Width: 10, Buckets: 10}, 1, 0)
+	for i := 0; i < 50; i++ {
+		s.ObserveArrival(float64(i)*0.5, 0) // 2/s
+	}
+	dst := make([]float64, 3)
+	got := s.Rates(24.9, dst)
+	if &got[0] != &dst[0] {
+		t.Error("Rates did not fill dst in place")
+	}
+	if math.Abs(dst[0]-2) > 0.3 {
+		t.Errorf("dst[0] = %g, want ≈2", dst[0])
+	}
+	if !math.IsNaN(dst[1]) || !math.IsNaN(dst[2]) {
+		t.Errorf("beyond-class entries not NaN: %v", dst)
+	}
+	var nilSet *Set
+	for _, v := range nilSet.Rates(1, dst) {
+		if !math.IsNaN(v) {
+			t.Fatalf("nil set Rates entry %g, want NaN", v)
+		}
+	}
+}
+
+// TestClassSensorCovered pins the new Covered field: the elapsed window
+// span the sensor's readings integrate over.
+func TestClassSensorCovered(t *testing.T) {
+	s := mustSet(t, Config{Width: 100, Buckets: 10}, 1, 0)
+	for i := 0; i < 10; i++ {
+		s.ObserveArrival(float64(i), 0)
+	}
+	cs := s.Class(9, 0)
+	if math.Abs(cs.Covered-9) > 1e-9 {
+		t.Errorf("partial coverage = %g, want 9", cs.Covered)
+	}
+	for i := 10; i < 300; i++ {
+		s.ObserveArrival(float64(i), 0)
+	}
+	cs = s.Class(299, 0)
+	if math.Abs(cs.Covered-100) > 1e-9 {
+		t.Errorf("full coverage = %g, want width 100", cs.Covered)
+	}
+}

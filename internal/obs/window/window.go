@@ -193,6 +193,10 @@ type ClassSensor struct {
 	TailSojourn float64
 	// Sojourns is the number of closed-span observations in the window.
 	Sojourns int64
+	// Covered is the stretch of history (seconds) behind Rate: the full
+	// window once enough time has passed, everything so far before that.
+	// Controllers can use it to discount cold estimates.
+	Covered float64
 }
 
 // Set is a bank of window estimators for a fixed number of classes and
@@ -294,11 +298,49 @@ func (s *Set) Class(t float64, class int) ClassSensor {
 	}
 	if cov := sr.covered(t); cov > 0 {
 		out.Rate = float64(tot.events) / cov
+		out.Covered = cov
 	}
 	if tot.vn > 0 {
 		out.MeanSojourn = tot.vsum / float64(tot.vn)
 	}
 	return out
+}
+
+// Rate returns class k's windowed arrival-rate estimate λ̂ as of time t —
+// the single-number read an online controller re-estimates from each epoch.
+// NaN when the receiver is nil, the class is out of range, or the window has
+// no coverage yet.
+func (s *Set) Rate(t float64, class int) float64 {
+	if s == nil || class < 0 || class >= len(s.cls) {
+		return math.NaN()
+	}
+	sr := s.cls[class]
+	tot := sr.sum(t)
+	cov := sr.covered(t)
+	if cov <= 0 {
+		return math.NaN()
+	}
+	return float64(tot.events) / cov
+}
+
+// Rates fills dst with every class's windowed arrival-rate estimate as of
+// time t and returns it. Entries beyond the class count — or all of them, on
+// a nil Set — are NaN, so callers can size dst for the cluster and treat NaN
+// uniformly as "no estimate".
+func (s *Set) Rates(t float64, dst []float64) []float64 {
+	if s == nil {
+		for i := range dst {
+			dst[i] = math.NaN()
+		}
+		return dst
+	}
+	for i := range dst {
+		dst[i] = math.NaN()
+	}
+	for k := 0; k < len(s.cls) && k < len(dst); k++ {
+		dst[k] = s.Rate(t, k)
+	}
+	return dst
 }
 
 // Utilization reads tier j's mean sampled utilization over the window as of

@@ -161,6 +161,22 @@ func MeanRate(p Profile) float64 {
 		return t.Mean
 	case SquareWave:
 		return t.High*t.HighFraction + t.Low*(1-t.HighFraction)
+	case Schedule:
+		if t.Period > 0 {
+			// Time-weighted average over one cycle.
+			var sum float64
+			for i, r := range t.Rates {
+				end := t.Period
+				if i+1 < len(t.Times) {
+					end = t.Times[i+1]
+				}
+				sum += r * (end - t.Times[i])
+			}
+			return sum / t.Period
+		}
+		// Without cycling the final segment holds forever and dominates the
+		// long-run average.
+		return t.Rates[len(t.Rates)-1]
 	default:
 		// Numerical average over a generic profile, using its max rate to
 		// choose a sampling span.

@@ -1,0 +1,88 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"clusterq/internal/cluster"
+	"clusterq/internal/queueing"
+)
+
+// TestQueueGainSentinel pins the zero-vs-unset fix: QueueGain's zero value
+// means "unset, use the default", and disabling the queue-pressure boost
+// takes the explicit ZeroQueueGain sentinel — exactly the ZeroWarmup
+// convention. Before the fix an explicit 0 silently became the default 0.1,
+// so the boost could not be turned off at all.
+func TestQueueGainSentinel(t *testing.T) {
+	if got := (UtilizationPolicy{}).queueGain(); got != 0.1 {
+		t.Errorf("unset QueueGain = %g, want default 0.1", got)
+	}
+	if got := (UtilizationPolicy{QueueGain: ZeroQueueGain}.queueGain()); got != 0 {
+		t.Errorf("ZeroQueueGain = %g, want boost disabled (0)", got)
+	}
+	if got := (UtilizationPolicy{QueueGain: -3}.queueGain()); got != 0 {
+		t.Errorf("negative QueueGain = %g, want boost disabled (0)", got)
+	}
+	if got := (UtilizationPolicy{QueueGain: 0.3}.queueGain()); got != 0.3 {
+		t.Errorf("explicit QueueGain = %g, want 0.3", got)
+	}
+
+	// Decision-level regression: with a long queue the boost must be fully
+	// inert under ZeroQueueGain — the decision collapses to the pure
+	// utilization step (util 1.0 at target 0.5, gain 1 ⇒ double the speed).
+	obs := Observation{Utilization: 1, Speed: 2, Servers: 2, QueueLen: 50,
+		MinSpeed: 0.1, MaxSpeed: 100}
+	boosted := UtilizationPolicy{Target: 0.5, Gain: 1}.Decide(obs)
+	flat := UtilizationPolicy{Target: 0.5, Gain: 1, QueueGain: ZeroQueueGain}.Decide(obs)
+	if !almostEq(flat, 4, 1e-9) {
+		t.Errorf("ZeroQueueGain decision = %g, want pure utilization step 4", flat)
+	}
+	if !(boosted > flat) {
+		t.Errorf("default boost %g not above disabled boost %g", boosted, flat)
+	}
+}
+
+// nanPolicy is a broken controller that always returns NaN — the shape a
+// divide-by-zero inside a user policy produces.
+type nanPolicy struct{}
+
+func (nanPolicy) Name() string               { return "nan" }
+func (nanPolicy) Decide(Observation) float64 { return math.NaN() }
+
+// TestNaNControllerDecisionDegradesToMinSpeed pins the NaN-clamp fix. A NaN
+// desired speed passes both clamp comparisons (NaN<min and NaN>max are both
+// false), so before the guard it reached setSpeed, poisoned every departure
+// time at the station, and silently terminated the whole run at the first
+// control epoch (a NaN event time fails the `t <= horizon` pending check).
+// With the guard the decision degrades to the station's MinSpeed and the run
+// completes the full horizon with finite statistics — including under
+// breakdowns, where the repair path reschedules work at the (clamped) speed.
+func TestNaNControllerDecisionDegradesToMinSpeed(t *testing.T) {
+	c := oneTier(2, 1, queueing.NonPreemptive,
+		[]cluster.Class{{Name: "a", Lambda: 0.2}},
+		[]queueing.Demand{{Work: 1, CV2: 1}})
+	o := Options{
+		Horizon: 4000, Replications: 2, Seed: 7,
+		Controller: nanPolicy{}, ControlPeriod: 25,
+		Failures: []*FailureConfig{{MTBF: 50, MTTR: 5}},
+		Probe:    &Probe{Period: 100},
+	}
+	res, err := Run(c, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Station minSpeed defaults to Speed/4 = 0.25, so capacity stays above
+	// the offered 0.2 work/s: the run must deliver roughly λ·horizon·reps
+	// completions, not the handful that fit before the first control epoch.
+	if want := int64(0.2 * 4000 * 2 / 2); res.Completed[0] < want {
+		t.Errorf("completions %d < %d: NaN decision wedged the run early", res.Completed[0], want)
+	}
+	if math.IsNaN(res.Delay[0].Mean) || math.IsNaN(res.TotalPower.Mean) {
+		t.Errorf("NaN leaked into results: delay %g power %g", res.Delay[0].Mean, res.TotalPower.Mean)
+	}
+	// The degraded decision is applied as a real retune to MinSpeed (once:
+	// subsequent identical decisions are skipped by setSpeed).
+	if res.EventCounts[TraceRetune] == 0 {
+		t.Error("no retune events: the clamped NaN decision was never applied")
+	}
+}

@@ -1,0 +1,86 @@
+package sim
+
+import "math"
+
+// Plan-level control: the simulator side of the model-driven autoscaler
+// (internal/control). Once per control epoch the engine assembles a
+// PlanObservation — every station's epoch observation plus the windowed
+// per-class arrival-rate estimates — hands it to the PlanController, and
+// applies the returned PlanDecision under the same clamps the per-station
+// path enforces. The epoch machinery is shared with the per-station
+// controller (see handleControl); only the decision surface differs.
+//
+// Determinism: the control event consumes no RNG draws, and a decision that
+// holds every knob leaves the event stream untouched, so a no-op plan
+// controller produces bit-identical results to a controller-free run (pinned
+// by the perturbation-freedom tests in internal/control).
+
+// handlePlanControl runs one epoch of the plan-level controller.
+func (s *simulator) handlePlanControl(now float64) {
+	obs := &s.planObs
+	obs.Time = now
+	for i, st := range s.stations {
+		obs.Stations[i] = s.observeStation(st, now)
+	}
+	// λ̂ from the window sensors: NaN (no estimate) when no window set is
+	// attached or a class's window has no coverage yet. Reading the sensor
+	// only advances its expiry bookkeeping, never the measured state.
+	s.win.Rates(now, obs.Rates)
+	d := s.planController.DecidePlan(*obs)
+	s.applyPlan(now, d)
+}
+
+// applyPlan applies a plan decision: per-tier speed retunes (clamped, with
+// non-finite and non-positive entries holding the current speed) and
+// effective-server-count changes via parking. It always restarts the epoch
+// utilization measurement, decision or not, so the next observation covers
+// exactly one epoch.
+func (s *simulator) applyPlan(now float64, d PlanDecision) {
+	for j, st := range s.stations {
+		if j < len(d.Speeds) {
+			sp := d.Speeds[j]
+			// NaN or non-positive means "hold" by contract — and a NaN that
+			// slipped through would otherwise pass both clamp comparisons
+			// and poison every departure time (see handleControl).
+			if !math.IsNaN(sp) && sp > 0 {
+				if sp < st.minSpeed {
+					sp = st.minSpeed
+				}
+				if sp > st.maxSpeed {
+					sp = st.maxSpeed
+				}
+				s.setSpeed(st, now, sp)
+			}
+		}
+		if j < len(d.Servers) && !st.sleepEnabled {
+			if want := d.Servers[j]; want > 0 {
+				if want > st.servers {
+					want = st.servers // cannot buy hardware mid-run
+				}
+				s.setParked(st, now, st.servers-want)
+			}
+		}
+		st.epochBusy.StartAt(now, float64(len(st.running)))
+	}
+}
+
+// setParked moves a station to the given parked-server count. Growing the
+// active pool puts freed servers straight to work on the waiting line (like
+// a repair); shrinking is lazy — running services finish first (departures
+// stop backfilling while the pool is over-subscribed, see handleDeparture).
+func (s *simulator) setParked(st *simStation, now float64, parked int) {
+	if parked == st.parked {
+		return
+	}
+	st.parked = parked
+	s.tr.event(now, TracePark, -1, 0, st.idx, float64(parked))
+	s.count(pkPark)
+	st.observeBusy(now) // the power level steps with the idle pool
+	for st.freeServers() > 0 {
+		next := st.nextWaiting()
+		if next == nil {
+			break
+		}
+		s.startService(st, next, now)
+	}
+}

@@ -35,6 +35,12 @@ func (StaticPolicy) Name() string { return "static" }
 // Decide implements Controller.
 func (StaticPolicy) Decide(obs Observation) float64 { return obs.Speed }
 
+// ZeroQueueGain requests a UtilizationPolicy with NO queue-pressure boost.
+// It exists for the same reason as ZeroWarmup: the zero value of QueueGain
+// must keep meaning "use the default", so an explicit zero is spelled with a
+// negative sentinel instead (any negative value disables the boost).
+const ZeroQueueGain = -1.0
+
 // UtilizationPolicy is the classic reactive DVFS rule: scale the speed so
 // the observed utilization moves toward Target, with first-order smoothing
 // (Gain) and a queue-pressure boost that accelerates recovery when work has
@@ -46,7 +52,8 @@ type UtilizationPolicy struct {
 	// (default 0.5; 1 = jump straight to the estimate).
 	Gain float64
 	// QueueGain scales the backlog boost (default 0.1 per queued job per
-	// server).
+	// server). Leaving it at zero selects the default; to disable the boost
+	// entirely, set QueueGain to ZeroQueueGain (any negative value works).
 	QueueGain float64
 }
 
@@ -71,12 +78,61 @@ func (p UtilizationPolicy) gain() float64 {
 
 func (p UtilizationPolicy) queueGain() float64 {
 	if p.QueueGain < 0 {
+		// ZeroQueueGain (or any negative value): boost explicitly disabled.
 		return 0
 	}
 	if p.QueueGain == 0 {
+		// The unset field, not an explicit zero — that is ZeroQueueGain.
 		return 0.1
 	}
 	return p.QueueGain
+}
+
+// PlanObservation is what a plan-level controller sees at a control epoch:
+// every station's per-epoch observation plus the windowed per-class arrival-
+// rate estimates. It is the cluster-wide counterpart of Observation — one
+// decision over the whole plan instead of one per station.
+type PlanObservation struct {
+	// Time is the epoch's simulated time.
+	Time float64
+	// Stations holds one Observation per tier, in tier order.
+	Stations []Observation
+	// Rates[k] is class k's windowed arrival-rate estimate λ̂ read from the
+	// attached window.Set at this epoch, or NaN when no window set is
+	// attached (or the window has no coverage yet). Controllers must treat
+	// NaN as "no estimate" and fall back to their nominal rates.
+	Rates []float64
+}
+
+// PlanDecision is a plan-level controller's retune order. Zero values hold
+// the current plan: a nil or short slice, a NaN or non-positive speed, and a
+// non-positive server count all mean "leave that knob alone", so the zero
+// PlanDecision is a guaranteed no-op (the perturbation-freedom tests pin
+// that a controller returning it never changes any result bit).
+type PlanDecision struct {
+	// Speeds[j], when positive and finite, is tier j's new speed (clamped
+	// to the tier's [MinSpeed, MaxSpeed] by the simulator).
+	Speeds []float64
+	// Servers[j], when positive, is tier j's new effective server count:
+	// the simulator parks servers - Servers[j] of the configured servers
+	// (clamped to at least 1 active). Parked servers draw no power and
+	// accept no work; shrinking is lazy — running services finish before
+	// the pool contracts. Ignored on tiers with the sleep policy enabled
+	// (sleep already manages the idle pool) and values above the configured
+	// count are capped (the simulator cannot buy hardware mid-run).
+	Servers []int
+}
+
+// PlanController re-plans the whole cluster at every control epoch — the
+// model-driven counterpart of the per-station Controller, designed for
+// controllers that re-run the paper's optimizations against live estimates
+// (see internal/control). At most one of Controller and PlanController may
+// be set on Options.
+type PlanController interface {
+	// Name labels the policy in experiment tables.
+	Name() string
+	// DecidePlan returns the retune order to apply until the next epoch.
+	DecidePlan(obs PlanObservation) PlanDecision
 }
 
 // Decide implements Controller. The served work rate since the last epoch is

@@ -51,6 +51,7 @@ const (
 	pkRetry
 	pkAbandon
 	pkShed
+	pkPark
 	numProbeKinds
 )
 
@@ -59,7 +60,7 @@ var probeKindNames = [numProbeKinds]string{
 	TraceArrival, TraceStart, TracePreempt, TraceVisitEnd,
 	TraceExit, TraceRetune, TraceSetupBegin, TraceSetupDone,
 	TraceBreakdown, TraceRepair, TraceTimeout, TraceRetry,
-	TraceAbandon, TraceShed,
+	TraceAbandon, TraceShed, TracePark,
 }
 
 // probeKindActive reports whether a counter can be nonzero under the given
@@ -74,6 +75,8 @@ func probeKindActive(k probeKind, o Options) bool {
 		return o.Deadlines != nil
 	case pkShed:
 		return o.Shedding != nil
+	case pkPark:
+		return o.PlanController != nil
 	default:
 		return true
 	}

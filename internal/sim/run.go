@@ -70,10 +70,20 @@ type Options struct {
 	// workload side of the dynamic power management extension; the
 	// analytical model stays stationary.
 	Profiles []Profile
-	// Controller optionally runs a DVFS policy at runtime, re-deciding
-	// every ControlPeriod simulated seconds. Requires ControlPeriod > 0.
-	Controller    Controller
-	ControlPeriod float64
+	// Controller optionally runs a per-station DVFS policy at runtime,
+	// re-deciding every ControlPeriod simulated seconds. Requires
+	// ControlPeriod > 0.
+	Controller Controller
+	// PlanController optionally runs a plan-level (cluster-wide) controller
+	// at runtime instead — the hook the model-driven autoscaler in
+	// internal/control plugs into. Requires ControlPeriod > 0 and exactly
+	// one replication (plan controllers are stateful across epochs, so a
+	// single instance cannot be shared by parallel replications); at most
+	// one of Controller and PlanController may be set. When Windows is also
+	// set, the epoch observation carries the windowed per-class arrival-
+	// rate estimates.
+	PlanController PlanController
+	ControlPeriod  float64
 	// Trace, when non-nil, streams every simulator event as a CSV row
 	// (header sim.TraceHeader). Tracing requires Replications == 1 —
 	// interleaved traces from parallel replications would be meaningless.
@@ -187,8 +197,14 @@ func (o *Options) defaults() error {
 	default:
 		return fmt.Errorf("sim: unknown calendar %q (want %q or %q)", o.Calendar, CalendarHeap, CalendarLadder)
 	}
-	if o.Controller != nil && !(o.ControlPeriod > 0) {
+	if (o.Controller != nil || o.PlanController != nil) && !(o.ControlPeriod > 0) {
 		return fmt.Errorf("sim: a controller requires a positive control period")
+	}
+	if o.Controller != nil && o.PlanController != nil {
+		return fmt.Errorf("sim: Controller and PlanController are mutually exclusive")
+	}
+	if o.PlanController != nil && o.Replications != 1 {
+		return fmt.Errorf("sim: a plan controller requires exactly 1 replication, got %d", o.Replications)
 	}
 	if o.Trace != nil && o.Replications != 1 {
 		return fmt.Errorf("sim: tracing requires exactly 1 replication, got %d", o.Replications)

@@ -1,6 +1,8 @@
 package sim
 
 import (
+	"math"
+
 	"clusterq/internal/cluster"
 	"clusterq/internal/obs"
 	"clusterq/internal/obs/trace"
@@ -25,10 +27,14 @@ type simulator struct {
 	jobSeq     uint64
 
 	// Dynamic power management extension: per-class arrival profiles
-	// (constant when absent) and an optional runtime DVFS controller.
-	profiles      []Profile
-	controller    Controller
-	controlPeriod float64
+	// (constant when absent) and an optional runtime controller — either a
+	// per-station DVFS policy or a plan-level (cluster-wide) one, never
+	// both. planObs is the plan controller's reusable epoch observation.
+	profiles       []Profile
+	controller     Controller
+	planController PlanController
+	planObs        PlanObservation
+	controlPeriod  float64
 
 	// Probabilistic routing: per-class Markov chains (nil = deterministic
 	// route) and the RNG streams that drive next-hop sampling.
@@ -90,16 +96,17 @@ func newSimulator(c *cluster.Cluster, o Options, seed uint64, record bool) (*sim
 	}
 	root := NewRNG(seed)
 	s := &simulator{
-		c:             c,
-		cal:           newCalendarKind(o.Calendar),
-		warmup:        o.Warmup,
-		warmupDone:    o.Warmup <= 0, // explicit zero warmup: never reset, measure from t=0
-		horizon:       o.Horizon,
-		routes:        make([][]int, len(c.Classes)),
-		quantiles:     o.Quantiles,
-		controller:    o.Controller,
-		controlPeriod: o.ControlPeriod,
-		probe:         o.Probe,
+		c:              c,
+		cal:            newCalendarKind(o.Calendar),
+		warmup:         o.Warmup,
+		warmupDone:     o.Warmup <= 0, // explicit zero warmup: never reset, measure from t=0
+		horizon:        o.Horizon,
+		routes:         make([][]int, len(c.Classes)),
+		quantiles:      o.Quantiles,
+		controller:     o.Controller,
+		planController: o.PlanController,
+		controlPeriod:  o.ControlPeriod,
+		probe:          o.Probe,
 	}
 	if o.Trace != nil {
 		s.tr = newTraceWriter(o.Trace)
@@ -231,8 +238,14 @@ func newSimulator(c *cluster.Cluster, o Options, seed uint64, record bool) (*sim
 		}
 	}
 	// Prime the control loop.
-	if s.controller != nil && s.controlPeriod > 0 {
+	if (s.controller != nil || s.planController != nil) && s.controlPeriod > 0 {
 		s.cal.schedule(s.controlPeriod, evControl, 0, nil, 0, nil)
+	}
+	if s.planController != nil {
+		s.planObs = PlanObservation{
+			Stations: make([]Observation, len(s.stations)),
+			Rates:    make([]float64, len(c.Classes)),
+		}
 	}
 	// Prime the probe's sampling loop.
 	if s.probe != nil {
@@ -398,26 +411,30 @@ func (s *simulator) sampleIndex(k int, probs []float64) int {
 	return -1
 }
 
-// handleControl runs one epoch of the runtime DVFS controller.
+// handleControl runs one epoch of the runtime controller — the per-station
+// DVFS path here, or the plan-level path in plan.go.
 func (s *simulator) handleControl() {
 	now := s.cal.now
+	if s.planController != nil {
+		s.handlePlanControl(now)
+		s.cal.schedule(now+s.controlPeriod, evControl, 0, nil, 0, nil)
+		return
+	}
 	for _, st := range s.stations {
 		// The controller sees load against the capacity actually on the
 		// floor: failed servers do not serve, so dividing by the configured
 		// count would understate utilization exactly when breakdowns make
 		// the control decision matter (see upUtilization).
-		util := st.upUtilization(st.epochBusy.MeanAt(now))
-		obs := Observation{
-			Time:        now,
-			Station:     st.idx,
-			Utilization: util,
-			QueueLen:    st.queueLen(),
-			Speed:       st.speed,
-			Servers:     st.servers,
-			MinSpeed:    st.minSpeed,
-			MaxSpeed:    st.maxSpeed,
-		}
+		obs := s.observeStation(st, now)
 		next := s.controller.Decide(obs)
+		// A NaN decision would pass BOTH clamp comparisons below (NaN<min
+		// and NaN>max are both false) and poison every departure time at
+		// the station — the whole run would then terminate silently early,
+		// because a NaN event time fails the `t <= horizon` pending check.
+		// Any non-finite decision degrades to the safe floor instead.
+		if math.IsNaN(next) {
+			next = st.minSpeed
+		}
 		if next < st.minSpeed {
 			next = st.minSpeed
 		}
@@ -428,6 +445,20 @@ func (s *simulator) handleControl() {
 		st.epochBusy.StartAt(now, float64(len(st.running)))
 	}
 	s.cal.schedule(now+s.controlPeriod, evControl, 0, nil, 0, nil)
+}
+
+// observeStation builds one station's per-epoch controller observation.
+func (s *simulator) observeStation(st *simStation, now float64) Observation {
+	return Observation{
+		Time:        now,
+		Station:     st.idx,
+		Utilization: st.upUtilization(st.epochBusy.MeanAt(now)),
+		QueueLen:    st.queueLen(),
+		Speed:       st.speed,
+		Servers:     st.servers,
+		MinSpeed:    st.minSpeed,
+		MaxSpeed:    st.maxSpeed,
+	}
 }
 
 // maybeWake starts warming a sleeping server when there is more queued work
@@ -599,9 +630,14 @@ func (s *simulator) handleDeparture(e *event) {
 
 	// Hand the freed server to the queue BEFORE routing the departing job
 	// onward: a job feeding back to the same station must rejoin behind
-	// the work already waiting, not grab the server it just released.
-	if next := st.nextWaiting(); next != nil {
-		s.startService(st, next, now)
+	// the work already waiting, not grab the server it just released. The
+	// free-server check only bites during a lazy shrink (a plan controller
+	// parked servers while they were busy): the finished service then
+	// retires its server instead of backfilling.
+	if st.freeServers() > 0 {
+		if next := st.nextWaiting(); next != nil {
+			s.startService(st, next, now)
+		}
 	}
 
 	// Route advance: probabilistic next hop under a routing chain,

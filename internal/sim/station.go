@@ -58,6 +58,12 @@ type simStation struct {
 	shedEnabled bool
 	shedBusy    stats.TimeWeighted
 
+	// Plan-controller extension: servers administratively parked (powered
+	// off, accepting no work). Shrinking is lazy — services already running
+	// finish before the active pool contracts — so len(running) may
+	// transiently exceed the active count.
+	parked int
+
 	// measurement
 	busy      stats.TimeWeighted // number of busy servers over time
 	powerTW   stats.TimeWeighted // instantaneous power draw over time
@@ -75,7 +81,14 @@ type simStation struct {
 func (s *simStation) instPower() float64 {
 	b := float64(len(s.running))
 	if !s.sleepEnabled {
-		return b*s.pm.BusyPower(s.speed) + (float64(s.servers-s.failed)-b)*s.pm.IdlePower(s.speed)
+		// Parked servers draw nothing; during a lazy shrink the still-
+		// running services can outnumber the active pool, so the idle count
+		// floors at zero instead of going negative.
+		idle := float64(s.servers-s.failed-s.parked) - b
+		if idle < 0 {
+			idle = 0
+		}
+		return b*s.pm.BusyPower(s.speed) + idle*s.pm.IdlePower(s.speed)
 	}
 	su := float64(s.settingUp)
 	sl := float64(s.servers) - b - su
@@ -108,11 +121,11 @@ func (s *simStation) bankSegment(run *serviceRun, now float64) {
 	s.svcEnergy[run.job.class] += s.powerGap() * seg
 }
 
-func (s *simStation) freeServers() int { return s.servers - s.failed - len(s.running) }
+func (s *simStation) freeServers() int { return s.servers - s.failed - s.parked - len(s.running) }
 
 // upServers is the capacity actually on the floor: configured servers minus
-// those currently broken down.
-func (s *simStation) upServers() int { return s.servers - s.failed }
+// those currently broken down or administratively parked.
+func (s *simStation) upServers() int { return s.servers - s.failed - s.parked }
 
 // upUtilization converts a mean busy-server level into a utilization of the
 // UP servers — the denominator runtime sensors (the DVFS controller's epoch

@@ -84,4 +84,5 @@ const (
 	TraceAbandon    = "abandon"    // retry budget spent; the request leaves unserved
 	TraceShed       = "shed"       // an arrival refused by admission control
 	TraceShedLevel  = "shed_level" // admission level changed (value = classes shed)
+	TracePark       = "park"       // plan controller resized a tier's active pool (value = parked count after)
 )

@@ -1,0 +1,112 @@
+// Time-varying workload builders: the transient scenarios the online
+// autoscaler (internal/control, experiment E23) is exercised against. Each
+// builder maps a cluster's per-class nominal rates onto sim.Profile shapes —
+// a diurnal ramp, a flash crowd, a repeating multi-period staircase — so the
+// scenario scales with the cluster it is applied to instead of hard-coding
+// rates.
+package workload
+
+import (
+	"fmt"
+
+	"clusterq/internal/cluster"
+	"clusterq/internal/sim"
+)
+
+// DiurnalProfiles builds one sinusoid per class around the class's nominal
+// rate: λ_k(t) = λ_k·(1 + swing·sin(2πt/period)). swing must be in [0, 1)
+// (rates stay positive) and period positive. The peak rate is λ_k·(1+swing).
+func DiurnalProfiles(c *cluster.Cluster, swing, period float64) ([]sim.Profile, error) {
+	if !(swing >= 0 && swing < 1) {
+		return nil, fmt.Errorf("workload: diurnal swing %g out of [0, 1)", swing)
+	}
+	profiles := make([]sim.Profile, len(c.Classes))
+	for k, cl := range c.Classes {
+		p, err := sim.NewSinusoid(cl.Lambda, swing*cl.Lambda, period)
+		if err != nil {
+			return nil, fmt.Errorf("workload: class %d diurnal profile: %w", k, err)
+		}
+		profiles[k] = p
+	}
+	return profiles, nil
+}
+
+// FlashCrowdProfiles builds a flash-crowd schedule per class: the nominal
+// rate, a burst of mult× the nominal on [start, start+duration), then the
+// nominal again. mult must be ≥ 1 (the peak factor), start ≥ 0 and duration
+// positive.
+func FlashCrowdProfiles(c *cluster.Cluster, mult, start, duration float64) ([]sim.Profile, error) {
+	if !(mult >= 1) {
+		return nil, fmt.Errorf("workload: flash-crowd multiplier %g must be at least 1", mult)
+	}
+	if start < 0 || !(duration > 0) {
+		return nil, fmt.Errorf("workload: flash-crowd window [%g, %g+%g) invalid", start, start, duration)
+	}
+	profiles := make([]sim.Profile, len(c.Classes))
+	for k, cl := range c.Classes {
+		times := []float64{0, start, start + duration}
+		rates := []float64{cl.Lambda, mult * cl.Lambda, cl.Lambda}
+		if start == 0 {
+			// The crowd is already there at t=0.
+			times, rates = times[1:], rates[1:]
+			times[0] = 0
+		}
+		p, err := sim.NewSchedule(times, rates, 0)
+		if err != nil {
+			return nil, fmt.Errorf("workload: class %d flash-crowd profile: %w", k, err)
+		}
+		profiles[k] = p
+	}
+	return profiles, nil
+}
+
+// StaircaseProfiles builds a cycling multi-period rate schedule per class:
+// the cycle of span `period` is split evenly across factors, class k running
+// at factors[i]·λ_k during segment i. Factors must be positive; the peak
+// rate is max(factors)·λ_k.
+func StaircaseProfiles(c *cluster.Cluster, factors []float64, period float64) ([]sim.Profile, error) {
+	if len(factors) == 0 {
+		return nil, fmt.Errorf("workload: staircase needs at least one factor")
+	}
+	if !(period > 0) {
+		return nil, fmt.Errorf("workload: staircase period %g must be positive", period)
+	}
+	for i, f := range factors {
+		if !(f > 0) {
+			return nil, fmt.Errorf("workload: staircase factor %d is %g, must be positive", i, f)
+		}
+	}
+	seg := period / float64(len(factors))
+	profiles := make([]sim.Profile, len(c.Classes))
+	for k, cl := range c.Classes {
+		times := make([]float64, len(factors))
+		rates := make([]float64, len(factors))
+		for i, f := range factors {
+			times[i] = float64(i) * seg
+			rates[i] = f * cl.Lambda
+		}
+		p, err := sim.NewSchedule(times, rates, period)
+		if err != nil {
+			return nil, fmt.Errorf("workload: class %d staircase profile: %w", k, err)
+		}
+		profiles[k] = p
+	}
+	return profiles, nil
+}
+
+// PeakFactor returns the largest instantaneous-rate multiple a profile list
+// reaches relative to the cluster's nominal rates — the factor a
+// provision-for-peak static plan must be solved at. Classes with a zero
+// nominal rate are skipped.
+func PeakFactor(c *cluster.Cluster, profiles []sim.Profile) float64 {
+	peak := 1.0
+	for k, p := range profiles {
+		if p == nil || k >= len(c.Classes) || !(c.Classes[k].Lambda > 0) {
+			continue
+		}
+		if f := p.MaxRate() / c.Classes[k].Lambda; f > peak {
+			peak = f
+		}
+	}
+	return peak
+}

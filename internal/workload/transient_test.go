@@ -1,0 +1,121 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"clusterq/internal/sim"
+)
+
+func TestDiurnalProfiles(t *testing.T) {
+	c := Enterprise3Tier(1)
+	if _, err := DiurnalProfiles(c, 1.0, 100); err == nil {
+		t.Error("swing 1.0 accepted (rates would touch zero)")
+	}
+	if _, err := DiurnalProfiles(c, -0.1, 100); err == nil {
+		t.Error("negative swing accepted")
+	}
+	ps, err := DiurnalProfiles(c, 0.5, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ps) != len(c.Classes) {
+		t.Fatalf("got %d profiles for %d classes", len(ps), len(c.Classes))
+	}
+	for k, p := range ps {
+		lam := c.Classes[k].Lambda
+		if got := p.MaxRate(); math.Abs(got-1.5*lam) > 1e-9 {
+			t.Errorf("class %d peak %g, want %g", k, got, 1.5*lam)
+		}
+		if got := p.RateAt(250); math.Abs(got-1.5*lam) > 1e-9 {
+			t.Errorf("class %d quarter-period rate %g, want peak %g", k, got, 1.5*lam)
+		}
+	}
+}
+
+func TestFlashCrowdProfiles(t *testing.T) {
+	c := Enterprise3Tier(1)
+	if _, err := FlashCrowdProfiles(c, 0.5, 10, 10); err == nil {
+		t.Error("sub-1 multiplier accepted")
+	}
+	if _, err := FlashCrowdProfiles(c, 2, -1, 10); err == nil {
+		t.Error("negative start accepted")
+	}
+	if _, err := FlashCrowdProfiles(c, 2, 10, 0); err == nil {
+		t.Error("zero duration accepted")
+	}
+	ps, err := FlashCrowdProfiles(c, 3, 100, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lam := c.Classes[0].Lambda
+	p := ps[0]
+	for _, tc := range []struct{ t, want float64 }{
+		{50, lam}, {100, 3 * lam}, {149, 3 * lam}, {150, lam}, {1e4, lam},
+	} {
+		if got := p.RateAt(tc.t); math.Abs(got-tc.want) > 1e-12 {
+			t.Errorf("RateAt(%g) = %g, want %g", tc.t, got, tc.want)
+		}
+	}
+	// The crowd already present at t=0 degenerates to a two-segment shape.
+	ps, err = FlashCrowdProfiles(c, 2, 0, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ps[0].RateAt(0); math.Abs(got-2*lam) > 1e-12 {
+		t.Errorf("t=0 crowd RateAt(0) = %g, want %g", got, 2*lam)
+	}
+	if got := ps[0].RateAt(31); math.Abs(got-lam) > 1e-12 {
+		t.Errorf("t=0 crowd RateAt(31) = %g, want %g", got, lam)
+	}
+}
+
+func TestStaircaseProfiles(t *testing.T) {
+	c := Enterprise3Tier(1)
+	if _, err := StaircaseProfiles(c, nil, 100); err == nil {
+		t.Error("empty factors accepted")
+	}
+	if _, err := StaircaseProfiles(c, []float64{1, 0}, 100); err == nil {
+		t.Error("zero factor accepted")
+	}
+	if _, err := StaircaseProfiles(c, []float64{1}, 0); err == nil {
+		t.Error("zero period accepted")
+	}
+	ps, err := StaircaseProfiles(c, []float64{0.5, 1.5}, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lam := c.Classes[0].Lambda
+	p := ps[0]
+	for _, tc := range []struct{ t, want float64 }{
+		{0, 0.5 * lam}, {49, 0.5 * lam}, {50, 1.5 * lam}, {125, 0.5 * lam},
+	} {
+		if got := p.RateAt(tc.t); math.Abs(got-tc.want) > 1e-12 {
+			t.Errorf("RateAt(%g) = %g, want %g", tc.t, got, tc.want)
+		}
+	}
+}
+
+func TestPeakFactor(t *testing.T) {
+	c := Enterprise3Tier(1)
+	ps, err := StaircaseProfiles(c, []float64{0.5, 1.4}, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := PeakFactor(c, ps); math.Abs(got-1.4) > 1e-9 {
+		t.Errorf("staircase peak factor = %g, want 1.4", got)
+	}
+	// All profiles below nominal: the factor floors at 1 (a static plan is
+	// never provisioned below the nominal rates).
+	low, err := StaircaseProfiles(c, []float64{0.5, 0.7}, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := PeakFactor(c, low); got != 1 {
+		t.Errorf("sub-nominal peak factor = %g, want 1", got)
+	}
+	// Nil entries are skipped.
+	if got := PeakFactor(c, make([]sim.Profile, len(c.Classes))); got != 1 {
+		t.Errorf("nil-profile peak factor = %g, want 1", got)
+	}
+}
